@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks over the SOF algorithm stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sof_core::{SofdaConfig, SofInstance};
+use sof_graph::{NodeId, ShortestPaths};
+use sof_kstroll::{DenseMetric, StrollSolver};
+use sof_steiner::SteinerSolver;
+use sof_topo::{build_instance, cogent, softlayer, ScenarioParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn softlayer_instance() -> SofInstance {
+    let mut p = ScenarioParams::paper_defaults().with_seed(42);
+    p.destinations = 6;
+    p.sources = 8;
+    build_instance(&softlayer(), &p)
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let topo = cogent();
+    c.bench_function("dijkstra/cogent", |b| {
+        b.iter(|| {
+            let sp = ShortestPaths::from_source(black_box(&topo.graph), NodeId::new(0));
+            black_box(sp.dist(NodeId::new(150)))
+        })
+    });
+}
+
+fn bench_steiner(c: &mut Criterion) {
+    let topo = cogent();
+    let terminals: Vec<NodeId> = (0..8).map(|i| NodeId::new(i * 20)).collect();
+    let mut g = c.benchmark_group("steiner/cogent-8-terminals");
+    for (name, solver) in [
+        ("mehlhorn", SteinerSolver::Mehlhorn),
+        ("kmb", SteinerSolver::Kmb),
+        ("takahashi", SteinerSolver::TakahashiMatsuyama),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| solver.solve(black_box(&topo.graph), black_box(&terminals)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_kstroll(c: &mut Criterion) {
+    let mut rng = sof_graph::Rng64::seed_from(7);
+    let pts: Vec<(f64, f64)> = (0..26).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+    let m = DenseMetric::symmetric_from_fn(26, |i, j| {
+        let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+        sof_graph::Cost::new((dx * dx + dy * dy).sqrt())
+    });
+    let mut g = c.benchmark_group("kstroll/26-nodes-k4");
+    for (name, solver) in [
+        ("exact", StrollSolver::Exact),
+        ("greedy", StrollSolver::Greedy),
+        ("color-coding-64", StrollSolver::ColorCoding { trials: 64 }),
+    ] {
+        g.bench_function(name, |b| {
+            let mut r = sof_graph::Rng64::seed_from(1);
+            b.iter(|| solver.solve(black_box(&m), 0, 25, 4, &mut r).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_sofda(c: &mut Criterion) {
+    let inst = softlayer_instance();
+    let mut g = c.benchmark_group("solvers/softlayer");
+    g.bench_function("sofda", |b| {
+        b.iter(|| sof_core::solve_sofda(black_box(&inst), &SofdaConfig::default()).unwrap())
+    });
+    g.bench_function("est", |b| {
+        b.iter(|| sof_baselines::solve_est(black_box(&inst), &SofdaConfig::default()).unwrap())
+    });
+    g.bench_function("enemp", |b| {
+        b.iter(|| sof_baselines::solve_enemp(black_box(&inst), &SofdaConfig::default()).unwrap())
+    });
+    g.bench_function("st", |b| {
+        b.iter(|| sof_baselines::solve_st(black_box(&inst), &SofdaConfig::default()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut p = ScenarioParams::paper_defaults().with_seed(9);
+    p.destinations = 4;
+    p.sources = 4;
+    p.vm_count = 10;
+    let inst = build_instance(&softlayer(), &p);
+    c.bench_function("exact/softlayer-4-dests", |b| {
+        b.iter(|| sof_exact::solve_exact(black_box(&inst), 200).unwrap())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dijkstra, bench_steiner, bench_kstroll, bench_sofda, bench_exact
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Fig. 12: online deployment — accumulative cost as requests arrive.
+use sof_bench::{print_header, print_row, Algo, Args};
+use sof_core::{LoadTracker, SofInstance, SofdaConfig};
+use sof_sim::{RequestStream, WorkloadParams};
+use sof_topo::{build_instance, cogent, softlayer, ScenarioParams, Topology};
+
+fn online(topo: &Topology, params: WorkloadParams, requests: usize, seed: u64) {
+    println!("\n## Fig. 12 — {} ({requests} arrivals)\n", topo.name);
+    let algos = Algo::comparison_set(false);
+    let mut hdr = vec!["#arrivals"];
+    hdr.extend(algos.iter().map(|a| a.name()));
+    print_header(&hdr);
+    // Independent network state per algorithm.
+    let mut states: Vec<(SofInstance, LoadTracker, f64)> = algos
+        .iter()
+        .map(|_| {
+            let mut p = ScenarioParams::paper_defaults().with_seed(seed);
+            p.vm_count = topo.dc_nodes.len() * 5; // 5 VMs per data center
+            p.chain_len = params.chain_len;
+            let inst = build_instance(topo, &p);
+            let tracker = LoadTracker::new(&inst.network, 100.0, 5.0);
+            (inst, tracker, 0.0)
+        })
+        .collect();
+    let mut stream = RequestStream::new(params, topo.graph.node_count(), seed);
+    for arrival in 1..=requests {
+        let request = stream.next_request();
+        for (ai, &algo) in algos.iter().enumerate() {
+            let (inst, tracker, acc) = &mut states[ai];
+            inst.request = request.clone();
+            tracker.refresh_costs(&mut inst.network);
+            if let Some(r) = sof_bench::run(algo, inst, &SofdaConfig::default().with_seed(seed)) {
+                let forest = r.outcome.expect("present").forest;
+                tracker.apply_forest(&inst.network, &forest, stream.demand());
+                *acc += r.cost;
+            }
+        }
+        if arrival % 5 == 0 || arrival == requests {
+            let mut cells = vec![arrival.to_string()];
+            for (_, _, acc) in &states {
+                cells.push(format!("{acc:.0}"));
+            }
+            print_row(&cells);
+        }
+    }
+}
+
+fn main() {
+    let args = Args::capture();
+    let seed: u64 = args.get("seed", 5000);
+    let softlayer_reqs: usize = args.get("requests-softlayer", 30);
+    let cogent_reqs: usize = args.get("requests-cogent", 45);
+    println!("# Fig. 12 — online deployment (accumulative cost)");
+    online(&softlayer(), WorkloadParams::softlayer(), softlayer_reqs, seed);
+    online(&cogent(), WorkloadParams::cogent(), cogent_reqs, seed);
+}

@@ -1,0 +1,11 @@
+//! Fig. 7: the convex Fortz–Thorup cost function (p = 1).
+use sof_bench::{print_header, print_row};
+
+fn main() {
+    println!("# Fig. 7 — cost function (capacity p = 1)\n");
+    print_header(&["load", "cost"]);
+    for i in 0..=24 {
+        let l = i as f64 * 0.05;
+        print_row(&[format!("{l:.2}"), format!("{:.3}", sof_core::fortz_thorup(l, 1.0))]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Fig. 9: Cogent one-time deployment sweeps.
+use sof_bench::{average, print_header, print_row, Algo, Args};
+use sof_core::SofdaConfig;
+use sof_topo::{build_instance, cogent, ScenarioParams};
+
+fn main() {
+    let args = Args::capture();
+    let seeds: u64 = args.get("seeds", 5);
+    let base: u64 = args.get("seed", 2000);
+    println!("# Fig. 9 — Cogent one-time deployment (seeds = {seeds})");
+    let topo = cogent();
+    let sweeps: Vec<(&str, Vec<usize>, Box<dyn Fn(&mut ScenarioParams, usize)>)> = vec![
+        ("#sources", vec![2, 8, 14, 20, 26], Box::new(|p: &mut ScenarioParams, v| p.sources = v)),
+        ("#destinations", vec![2, 4, 6, 8, 10], Box::new(|p, v| p.destinations = v)),
+        ("#VMs", vec![5, 15, 25, 35, 45], Box::new(|p, v| p.vm_count = v)),
+        ("chain length", vec![3, 4, 5, 6, 7], Box::new(|p, v| p.chain_len = v)),
+    ];
+    for (name, values, apply) in sweeps {
+        println!("\n## Fig. 9 — cost vs {name} (Cogent)\n");
+        let algos = Algo::comparison_set(false);
+        let mut hdr = vec![name];
+        hdr.extend(algos.iter().map(|a| a.name()));
+        print_header(&hdr);
+        for &v in &values {
+            let mut cells = vec![v.to_string()];
+            for &algo in &algos {
+                let make = |seed: u64| {
+                    let mut p = ScenarioParams::paper_defaults().with_seed(seed);
+                    apply(&mut p, v);
+                    build_instance(&topo, &p)
+                };
+                match average(algo, seeds, base, &SofdaConfig::default(), make) {
+                    Some((c, _, _)) => cells.push(format!("{c:.1}")),
+                    None => cells.push("-".into()),
+                }
+            }
+            print_row(&cells);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The convex load-dependent cost model of §VII-B (Fortz–Thorup [46]) and
+//! the online load tracker driving Fig. 12.
+
+use crate::{Network, ServiceForest};
+use serde::{Deserialize, Serialize};
+use sof_graph::{Cost, EdgeId, NodeId};
+
+/// Piecewise-linear convex cost of carrying load `l` on a resource of
+/// capacity `p` (Fig. 7 of the paper).
+///
+/// The function grows steeply as utilization approaches and exceeds 1,
+/// steering SOFDA away from congested links and overloaded hosts.
+///
+/// # Panics
+///
+/// Panics if `capacity <= 0` or `load < 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sof_core::fortz_thorup;
+/// // At utilization 1.0 with unit capacity the cost is 70 - 178/3 ≈ 10.67.
+/// let c = fortz_thorup(1.0, 1.0);
+/// assert!((c.value() - (70.0 - 178.0 / 3.0)).abs() < 1e-9);
+/// ```
+pub fn fortz_thorup(load: f64, capacity: f64) -> Cost {
+    assert!(capacity > 0.0, "capacity must be positive");
+    assert!(load >= 0.0, "load must be non-negative");
+    let (l, p) = (load, capacity);
+    let u = l / p;
+    let v = if u <= 1.0 / 3.0 {
+        l
+    } else if u <= 2.0 / 3.0 {
+        3.0 * l - (2.0 / 3.0) * p
+    } else if u <= 9.0 / 10.0 {
+        10.0 * l - (16.0 / 3.0) * p
+    } else if u <= 1.0 {
+        70.0 * l - (178.0 / 3.0) * p
+    } else if u <= 11.0 / 10.0 {
+        500.0 * l - (1468.0 / 3.0) * p
+    } else {
+        // The paper prints 14318/3 here, which would make the function
+        // discontinuous at utilization 11/10; the original Fortz–Thorup
+        // constant is 16318/3 (continuity: 500·1.1 − 1468/3 = 5000·1.1 −
+        // 16318/3). We use the correct constant.
+        5000.0 * l - (16318.0 / 3.0) * p
+    };
+    Cost::new(v.max(0.0))
+}
+
+/// Tracks per-link and per-VM load and refreshes the network's costs with
+/// [`fortz_thorup`], implementing the online deployment model (§VII-B):
+/// each accepted request adds its demand to every link its forest uses
+/// (once per chain segment, mirroring the bandwidth actually consumed) and
+/// one unit of work to every enabled VM.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoadTracker {
+    edge_load: Vec<f64>,
+    edge_capacity: Vec<f64>,
+    node_load: Vec<f64>,
+    node_capacity: Vec<f64>,
+    /// Multiplier translating convex link cost into the network's cost
+    /// units.
+    pub edge_cost_scale: f64,
+    /// Multiplier for VM setup costs.
+    pub node_cost_scale: f64,
+}
+
+impl LoadTracker {
+    /// Creates a tracker with uniform capacities.
+    pub fn new(network: &Network, link_capacity: f64, vm_capacity: f64) -> LoadTracker {
+        LoadTracker {
+            edge_load: vec![0.0; network.graph().edge_count()],
+            edge_capacity: vec![link_capacity; network.graph().edge_count()],
+            node_load: vec![0.0; network.node_count()],
+            node_capacity: vec![vm_capacity; network.node_count()],
+            edge_cost_scale: 1.0,
+            node_cost_scale: 1.0,
+        }
+    }
+
+    /// Sets an individual link's capacity.
+    pub fn set_edge_capacity(&mut self, e: EdgeId, capacity: f64) {
+        self.edge_capacity[e.index()] = capacity;
+    }
+
+    /// Current load of a link.
+    pub fn edge_load(&self, e: EdgeId) -> f64 {
+        self.edge_load[e.index()]
+    }
+
+    /// Current utilization of a link.
+    pub fn edge_utilization(&self, e: EdgeId) -> f64 {
+        self.edge_load[e.index()] / self.edge_capacity[e.index()]
+    }
+
+    /// Current load of a node.
+    pub fn node_load(&self, v: NodeId) -> f64 {
+        self.node_load[v.index()]
+    }
+
+    /// Seeds initial random-ish loads (the one-time deployment scenario
+    /// draws link usage uniformly from `(0, 1)`).
+    pub fn seed_edge_loads<F>(&mut self, mut f: F)
+    where
+        F: FnMut(EdgeId) -> f64,
+    {
+        for i in 0..self.edge_load.len() {
+            self.edge_load[i] = f(EdgeId::new(i)) * self.edge_capacity[i];
+        }
+    }
+
+    /// Adds a deployed forest's demand: `demand` per link per used segment,
+    /// one unit per enabled VM.
+    pub fn apply_forest(&mut self, network: &Network, forest: &ServiceForest, demand: f64) {
+        for seg in forest.segment_edges() {
+            for (a, b) in seg {
+                let e = network
+                    .graph()
+                    .edge_between(a, b)
+                    .expect("forest uses network links");
+                self.edge_load[e.index()] += demand;
+            }
+        }
+        for (vm, _) in forest.enabled_vms().expect("validated forest") {
+            self.node_load[vm.index()] += 1.0;
+        }
+    }
+
+    /// Recomputes every link and VM cost from current loads.
+    pub fn refresh_costs(&self, network: &mut Network) {
+        for i in 0..self.edge_load.len() {
+            let c = fortz_thorup(self.edge_load[i], self.edge_capacity[i]);
+            network
+                .graph_mut()
+                .set_edge_cost(EdgeId::new(i), c * self.edge_cost_scale);
+        }
+        for v in network.vms() {
+            let c = fortz_thorup(self.node_load[v.index()], self.node_capacity[v.index()]);
+            network.set_node_cost(v, c * self.node_cost_scale);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DestWalk, Request, ServiceChain, SofInstance};
+    use sof_graph::Graph;
+
+    #[test]
+    fn piecewise_values_match_fig7() {
+        // p = 1: spot checks along Fig. 7's curve.
+        assert_eq!(fortz_thorup(0.2, 1.0), Cost::new(0.2));
+        assert!((fortz_thorup(0.5, 1.0).value() - (1.5 - 2.0 / 3.0)).abs() < 1e-12);
+        assert!((fortz_thorup(0.8, 1.0).value() - (8.0 - 16.0 / 3.0)).abs() < 1e-12);
+        assert!((fortz_thorup(1.0, 1.0).value() - (70.0 - 178.0 / 3.0)).abs() < 1e-12);
+        assert!((fortz_thorup(1.05, 1.0).value() - (525.0 - 1468.0 / 3.0)).abs() < 1e-12);
+        assert!(fortz_thorup(1.2, 1.0).value() > 500.0);
+    }
+
+    #[test]
+    fn continuous_at_breakpoints() {
+        for p in [1.0, 10.0, 100.0] {
+            for bp in [1.0 / 3.0, 2.0 / 3.0, 0.9, 1.0, 1.1] {
+                let lo = fortz_thorup((bp - 1e-9) * p, p).value();
+                let hi = fortz_thorup((bp + 1e-9) * p, p).value();
+                assert!(
+                    (hi - lo).abs() < 1e-4 * p,
+                    "discontinuity at {bp} (p={p}): {lo} vs {hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn convex_increasing() {
+        let mut prev = -1.0;
+        let mut prev_slope = 0.0;
+        for i in 0..130 {
+            let l = i as f64 / 100.0;
+            let c = fortz_thorup(l, 1.0).value();
+            assert!(c >= prev, "not increasing at {l}");
+            if i > 0 {
+                let slope = c - prev;
+                assert!(slope >= prev_slope - 1e-9, "not convex at {l}");
+                prev_slope = slope;
+            }
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn tracker_accumulates_and_refreshes() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(1.0));
+        g.add_edge(NodeId::new(1), NodeId::new(2), Cost::new(1.0));
+        let mut net = crate::Network::all_switches(g);
+        net.make_vm(NodeId::new(1), Cost::new(1.0));
+        let inst = SofInstance::new(
+            net.clone(),
+            Request::new(
+                vec![NodeId::new(0)],
+                vec![NodeId::new(2)],
+                ServiceChain::with_len(1),
+            ),
+        )
+        .unwrap();
+        let forest = ServiceForest::new(
+            1,
+            vec![DestWalk {
+                destination: NodeId::new(2),
+                source: NodeId::new(0),
+                nodes: vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+                vnf_positions: vec![1],
+            }],
+        );
+        forest.validate(&inst).unwrap();
+        let mut tracker = LoadTracker::new(&net, 100.0, 5.0);
+        tracker.apply_forest(&net, &forest, 5.0);
+        assert_eq!(tracker.edge_load(EdgeId::new(0)), 5.0);
+        assert_eq!(tracker.node_load(NodeId::new(1)), 1.0);
+        tracker.refresh_costs(&mut net);
+        // 5/100 utilization is in the linear region: cost = load.
+        assert!((net.graph().edge_cost(EdgeId::new(0)).value() - 5.0).abs() < 1e-9);
+        // More load → higher cost.
+        tracker.apply_forest(&net, &forest, 60.0);
+        let before = net.graph().edge_cost(EdgeId::new(0));
+        tracker.refresh_costs(&mut net);
+        let _ = before;
+        assert!(net.graph().edge_cost(EdgeId::new(0)).value() > 5.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Procedure 1/2 of the paper: the k-stroll instance `𝒢` and walk expansion.
+//!
+//! Procedure 1 builds, for a source `s` and candidate last VM `u`, a complete
+//! graph over `M ∪ {s}` whose edge costs blend shortest-path distances with
+//! *halved* VM setup costs, such that a shortest `(|C|+1)`-node path in `𝒢`
+//! equals the cheapest service chain in `G` (Lemma 1: `𝒢` is metric).
+//!
+//! Key implementation observation: the only dependence on the chosen last VM
+//! `u` is an additive `c(u)/2` on edges incident to `s` (plus `c(s)/2` terms
+//! in the Appendix D variant). Therefore **one** generic metric with node
+//! potentials `c(x)/2` serves *all* candidate last VMs: for a fixed target
+//! `u`, true chain cost = generic path cost + `(c(s) + c(u))/2`, and the
+//! optimal path is the same. This lets SOFDA solve one multi-target k-stroll
+//! per source instead of `|M|` separate instances.
+
+use crate::Network;
+use sof_graph::{Cost, MetricClosure, NodeId};
+use sof_kstroll::{DenseMetric, Stroll, StrollSolver};
+
+/// The transformed k-stroll instance for one source (all last VMs at once).
+#[derive(Clone, Debug)]
+pub struct ChainMetric {
+    /// Generic metric with halved node-cost potentials.
+    metric: DenseMetric,
+    /// Index → network node; index 0 is the source.
+    nodes: Vec<NodeId>,
+    /// Shortest-path closure over `nodes` for walk expansion.
+    closure: MetricClosure,
+    /// Setup cost charged for the source (0 unless Appendix D).
+    source_cost: Cost,
+    /// Setup costs of `nodes` (index-aligned; 0 for the source slot).
+    setup: Vec<Cost>,
+}
+
+impl ChainMetric {
+    /// Builds the transformed instance for `source` over the VM set `vms`.
+    ///
+    /// `source_cost` enables the Appendix D variant where enabling a source
+    /// carries a setup cost; pass [`Cost::ZERO`] for the base model (§III
+    /// assumes source setup cost is negligible).
+    ///
+    /// Returns `None` if some VM is unreachable from `source` (the SOF
+    /// instance requires a connected network, so this is defensive).
+    pub fn build(
+        network: &Network,
+        source: NodeId,
+        vms: &[NodeId],
+        source_cost: Cost,
+    ) -> Option<ChainMetric> {
+        let mut nodes = Vec::with_capacity(vms.len() + 1);
+        nodes.push(source);
+        for &v in vms {
+            if v != source {
+                nodes.push(v);
+            }
+        }
+        let closure = MetricClosure::new(network.graph(), nodes.clone());
+        // Pairwise distances must be finite.
+        for &a in &nodes {
+            for &b in &nodes {
+                if !closure.dist_between(a, b).is_finite() {
+                    return None;
+                }
+            }
+        }
+        let setup: Vec<Cost> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i == 0 { Cost::ZERO } else { network.node_cost(v) })
+            .collect();
+        let n = nodes.len();
+        let pot: Vec<Cost> = setup
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if i == 0 { source_cost / 2.0 } else { c / 2.0 })
+            .collect();
+        let metric = DenseMetric::from_fn(n, |i, j| {
+            closure.dist_between(nodes[i], nodes[j]) + pot[i] + pot[j]
+        });
+        Some(ChainMetric {
+            metric,
+            nodes,
+            closure,
+            source_cost,
+            setup,
+        })
+    }
+
+    /// The generic metric (node potentials included).
+    pub fn metric(&self) -> &DenseMetric {
+        &self.metric
+    }
+
+    /// Number of metric nodes (`|M| + 1`, or `|M|` if the source is a VM).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when only the source is present (no VMs).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Metric index of a network node, if present.
+    pub fn index_of(&self, v: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == v)
+    }
+
+    /// Network node of metric index `i`.
+    pub fn node(&self, i: usize) -> NodeId {
+        self.nodes[i]
+    }
+
+    /// Converts a generic-metric stroll cost for target index `t` into the
+    /// true Procedure-1 chain cost (distances + full setup of chain VMs,
+    /// plus the source cost in the Appendix D variant).
+    pub fn true_chain_cost(&self, generic_cost: Cost, target: usize) -> Cost {
+        generic_cost + self.setup[target] / 2.0 + self.source_cost / 2.0
+    }
+
+    /// Exact Procedure-1 edge cost between metric indices `i` and `j` for
+    /// last VM index `last` — used by tests to pin the construction to the
+    /// paper's formula.
+    pub fn procedure1_edge_cost(&self, i: usize, j: usize, last: usize) -> Cost {
+        let dist = self.closure.dist_between(self.nodes[i], self.nodes[j]);
+        let share = if self.source_cost == Cost::ZERO {
+            if i == 0 {
+                (self.setup[last] + self.setup[j]) / 2.0
+            } else if j == 0 {
+                (self.setup[i] + self.setup[last]) / 2.0
+            } else {
+                (self.setup[i] + self.setup[j]) / 2.0
+            }
+        } else {
+            // Appendix D: both s and u carry (c(s)+c(u))/2.
+            let su = self.source_cost + self.setup[last];
+            if (i == 0 && j == last) || (j == 0 && i == last) {
+                su
+            } else if i == 0 || i == last {
+                (su + self.setup[j]) / 2.0
+            } else if j == 0 || j == last {
+                (self.setup[i] + su) / 2.0
+            } else {
+                (self.setup[i] + self.setup[j]) / 2.0
+            }
+        };
+        dist + share
+    }
+
+    /// Solves the k-stroll for every candidate last VM at once and returns
+    /// `(target index, stroll, true chain cost)` triples.
+    pub fn chains_to_all_vms(
+        &self,
+        chain_len: usize,
+        solver: StrollSolver,
+        rng: &mut sof_graph::Rng64,
+    ) -> Vec<(usize, Stroll, Cost)> {
+        let k = chain_len + 1;
+        let best = solver.solve_all_targets(&self.metric, 0, k, rng);
+        best.into_iter()
+            .enumerate()
+            .skip(1) // index 0 is the source itself
+            .filter_map(|(t, s)| {
+                s.map(|s| {
+                    let cost = self.true_chain_cost(s.cost, t);
+                    (t, s, cost)
+                })
+            })
+            .collect()
+    }
+
+    /// Expands a stroll in the metric into a real walk in `G` (Procedure 2,
+    /// final step): concatenates the shortest paths between consecutive
+    /// stroll nodes. Returns the walk and the positions of the stroll's VM
+    /// nodes (the chain placements `f1 … f|C|`).
+    pub fn expand(&self, stroll: &Stroll) -> (Vec<NodeId>, Vec<usize>) {
+        let mut walk: Vec<NodeId> = vec![self.nodes[stroll.nodes[0]]];
+        let mut positions = Vec::with_capacity(stroll.nodes.len().saturating_sub(1));
+        for pair in stroll.nodes.windows(2) {
+            let (a, b) = (self.nodes[pair[0]], self.nodes[pair[1]]);
+            let path = self
+                .closure
+                .path_between(a, b)
+                .expect("closure distances are finite");
+            walk.extend_from_slice(&path[1..]);
+            positions.push(walk.len() - 1);
+        }
+        (walk, positions)
+    }
+
+    /// True cost (distances + chain VM setups) of an expanded walk; equals
+    /// [`Self::true_chain_cost`] of the originating stroll.
+    pub fn walk_cost(&self, network: &Network, walk: &[NodeId], positions: &[usize]) -> Cost {
+        let mut c = network
+            .graph()
+            .walk_cost(walk)
+            .expect("expanded walks follow network links");
+        for &p in positions {
+            c += network.node_cost(walk[p]);
+        }
+        c + self.source_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sof_graph::{Graph, Rng64};
+
+    /// Line 0-1-2-3 (unit links) with VMs 1 (cost 2), 2 (cost 4), 3 (cost 6).
+    fn net() -> Network {
+        let mut g = Graph::with_nodes(4);
+        for i in 0..3 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1), Cost::new(1.0));
+        }
+        let mut net = Network::all_switches(g);
+        net.make_vm(NodeId::new(1), Cost::new(2.0));
+        net.make_vm(NodeId::new(2), Cost::new(4.0));
+        net.make_vm(NodeId::new(3), Cost::new(6.0));
+        net
+    }
+
+    fn vms() -> Vec<NodeId> {
+        vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+    }
+
+    #[test]
+    fn generic_metric_matches_procedure1_up_to_target_constant() {
+        let net = net();
+        let cm = ChainMetric::build(&net, NodeId::new(0), &vms(), Cost::ZERO).unwrap();
+        // Path s(0) -> 1 -> 2 in metric indices = [0, 1, 2]; last VM = 2.
+        let generic = cm.metric().path_cost(&[0, 1, 2]);
+        let true_cost = cm.true_chain_cost(generic, 2);
+        // Procedure 1 with last=2: edges (s,1): dist 1 + (c(2)+c(1))/2 = 1+3;
+        // (1,2): dist 1 + (c(1)+c(2))/2 = 1+3. Total 8.
+        let p1 = cm.procedure1_edge_cost(0, 1, 2) + cm.procedure1_edge_cost(1, 2, 2);
+        assert!(true_cost.approx_eq(p1), "{true_cost} vs {p1}");
+        // And equals hand-computed: dist 2 + setups c(1)+c(2) = 2 + 6 = 8.
+        assert!(true_cost.approx_eq(Cost::new(8.0)));
+    }
+
+    #[test]
+    fn metric_satisfies_triangle_inequality() {
+        let net = net();
+        let cm = ChainMetric::build(&net, NodeId::new(0), &vms(), Cost::ZERO).unwrap();
+        assert!(cm.metric().respects_triangle_inequality(1e-9));
+    }
+
+    #[test]
+    fn appendix_d_source_cost() {
+        let net = net();
+        let cm = ChainMetric::build(&net, NodeId::new(0), &vms(), Cost::new(10.0)).unwrap();
+        let generic = cm.metric().path_cost(&[0, 1, 2]);
+        let true_cost = cm.true_chain_cost(generic, 2);
+        // Base 8 plus source setup 10.
+        assert!(true_cost.approx_eq(Cost::new(18.0)));
+        // Procedure-1 (Appendix D) edge sum agrees.
+        let p1 = cm.procedure1_edge_cost(0, 1, 2) + cm.procedure1_edge_cost(1, 2, 2);
+        assert!(true_cost.approx_eq(p1));
+        assert!(cm.metric().respects_triangle_inequality(1e-9));
+    }
+
+    #[test]
+    fn expansion_concatenates_shortest_paths() {
+        let net = net();
+        let cm = ChainMetric::build(&net, NodeId::new(0), &vms(), Cost::ZERO).unwrap();
+        // Stroll 0 -> 3 (index 3 = node 3) -> 1 (node 1): forces a detour.
+        let stroll = sof_kstroll::Stroll::from_nodes(cm.metric(), vec![0, 3, 1]);
+        let (walk, pos) = cm.expand(&stroll);
+        let expect: Vec<NodeId> = [0, 1, 2, 3, 2, 1].iter().map(|&i| NodeId::new(i)).collect();
+        assert_eq!(walk, expect);
+        assert_eq!(pos, vec![3, 5]);
+        let wc = cm.walk_cost(&net, &walk, &pos);
+        assert!(wc.approx_eq(cm.true_chain_cost(stroll.cost, 1)));
+    }
+
+    #[test]
+    fn chains_to_all_vms_covers_every_target() {
+        let net = net();
+        let cm = ChainMetric::build(&net, NodeId::new(0), &vms(), Cost::ZERO).unwrap();
+        let mut rng = Rng64::seed_from(1);
+        let chains = cm.chains_to_all_vms(2, StrollSolver::Exact, &mut rng);
+        assert_eq!(chains.len(), 3); // all three VMs reachable with k=3
+        for (t, stroll, cost) in &chains {
+            assert_eq!(stroll.nodes.len(), 3);
+            assert!(*cost >= stroll.cost);
+            assert!(*t >= 1);
+        }
+    }
+
+    #[test]
+    fn source_in_vm_set_is_deduplicated() {
+        let mut net = net();
+        net.make_vm(NodeId::new(0), Cost::new(9.0));
+        let all = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+        let cm = ChainMetric::build(&net, NodeId::new(0), &all, Cost::ZERO).unwrap();
+        assert_eq!(cm.len(), 4); // source occupies slot 0 once
+        assert_eq!(cm.index_of(NodeId::new(0)), Some(0));
+    }
+}

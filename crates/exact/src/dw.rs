@@ -1,0 +1,268 @@
+//! Directed Dreyfus–Wagner over the layered graph: exact minimum-cost
+//! arborescence from the root spanning all destination terminals.
+
+use crate::layered::LayeredGraph;
+use sof_graph::Cost;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-VM restriction used by the branch-and-bound: which VNF indices a VM
+/// may process (`u32` bitmask over chain positions).
+#[derive(Clone, Debug, Default)]
+pub struct Restrictions {
+    /// `allowed[v] = bitmask` (absent = all allowed).
+    pub allowed: std::collections::HashMap<usize, u32>,
+}
+
+impl Restrictions {
+    /// Returns `true` if VM (dense index) `v` may process chain position `i`.
+    pub fn permits(&self, v: usize, i: usize) -> bool {
+        self.allowed.get(&v).is_none_or(|m| m & (1 << i) != 0)
+    }
+
+    /// Restricts `v` to a single position (or none with an empty mask).
+    pub fn restrict(&mut self, v: usize, mask: u32) {
+        self.allowed.insert(v, mask);
+    }
+}
+
+/// Result of one relaxed solve.
+#[derive(Clone, Debug)]
+pub struct Arborescence {
+    /// Total cost.
+    pub cost: Cost,
+    /// Chosen arc indices into [`LayeredGraph::arcs`].
+    pub arcs: Vec<usize>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Choice {
+    None,
+    Terminal,
+    Arc(usize),
+    Merge(u32),
+}
+
+/// Solves the relaxed problem exactly (no VM-uniqueness): minimum directed
+/// Steiner arborescence from `lg.root` spanning all terminals, honoring
+/// `restrictions` on processing arcs.
+///
+/// Returns `None` when some terminal is unreachable under the restrictions.
+///
+/// Complexity `O(3^k·N + 2^k·M log N)` for `k` terminals.
+///
+/// # Panics
+///
+/// Panics if there are more than 20 terminals.
+pub fn directed_steiner(lg: &LayeredGraph, restrictions: &Restrictions) -> Option<Arborescence> {
+    let k = lg.terminals.len();
+    assert!(k <= 20, "too many destinations for the exact solver: {k}");
+    if k == 0 {
+        return Some(Arborescence {
+            cost: Cost::ZERO,
+            arcs: vec![],
+        });
+    }
+    let n = lg.len();
+    let masks = 1usize << k;
+    let mut dp = vec![Cost::INFINITY; masks * n];
+    let mut choice = vec![Choice::None; masks * n];
+
+    let arc_allowed = |arc: &crate::layered::Arc| match arc.process {
+        None => true,
+        Some((vm, i)) => restrictions.permits(vm.index(), i),
+    };
+
+    // Reversed-Dijkstra relaxation: dp[S][x] = min over y reachable from x
+    // of dist(x→y) + init[y].
+    let relax = |dist: &mut [Cost], ch: &mut [Choice]| {
+        let mut heap: BinaryHeap<Reverse<(Cost, usize)>> = dist
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_finite())
+            .map(|(i, &d)| Reverse((d, i)))
+            .collect();
+        while let Some(Reverse((d, y))) = heap.pop() {
+            if d > dist[y] {
+                continue;
+            }
+            for &aid in &lg.into[y] {
+                let arc = &lg.arcs[aid];
+                if !arc_allowed(arc) {
+                    continue;
+                }
+                let nd = d + arc.cost;
+                if nd < dist[arc.from] {
+                    dist[arc.from] = nd;
+                    ch[arc.from] = Choice::Arc(aid);
+                    heap.push(Reverse((nd, arc.from)));
+                }
+            }
+        }
+    };
+
+    // Singletons.
+    for (ti, &t) in lg.terminals.iter().enumerate() {
+        let mask = 1usize << ti;
+        let mut d = dp[mask * n..(mask + 1) * n].to_vec();
+        let mut c = choice[mask * n..(mask + 1) * n].to_vec();
+        d[t] = Cost::ZERO;
+        c[t] = Choice::Terminal;
+        relax(&mut d, &mut c);
+        dp[mask * n..(mask + 1) * n].copy_from_slice(&d);
+        choice[mask * n..(mask + 1) * n].copy_from_slice(&c);
+    }
+
+    // Larger subsets.
+    for mask in 1..masks {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        // Merge complementary sub-solutions at every node.
+        {
+            let mut sub = (mask - 1) & mask;
+            while sub > 0 {
+                let other = mask & !sub;
+                if sub >= other {
+                    for x in 0..n {
+                        let a = dp[sub * n + x];
+                        let b = dp[other * n + x];
+                        if a.is_finite() && b.is_finite() {
+                            let c = a + b;
+                            if c < dp[mask * n + x] {
+                                dp[mask * n + x] = c;
+                                choice[mask * n + x] = Choice::Merge(sub as u32);
+                            }
+                        }
+                    }
+                }
+                sub = (sub - 1) & mask;
+            }
+        }
+        let mut d = dp[mask * n..(mask + 1) * n].to_vec();
+        let mut c = choice[mask * n..(mask + 1) * n].to_vec();
+        relax(&mut d, &mut c);
+        dp[mask * n..(mask + 1) * n].copy_from_slice(&d);
+        choice[mask * n..(mask + 1) * n].copy_from_slice(&c);
+    }
+
+    let full = masks - 1;
+    let best = dp[full * n + lg.root];
+    if !best.is_finite() {
+        return None;
+    }
+    // Reconstruct.
+    let mut arcs = Vec::new();
+    let mut stack = vec![(full, lg.root)];
+    while let Some((mask, x)) = stack.pop() {
+        match choice[mask * n + x] {
+            Choice::Terminal => {}
+            Choice::Arc(aid) => {
+                arcs.push(aid);
+                stack.push((mask, lg.arcs[aid].to));
+            }
+            Choice::Merge(sub) => {
+                stack.push((sub as usize, x));
+                stack.push((mask & !(sub as usize), x));
+            }
+            Choice::None => unreachable!("finite dp entry must have a choice"),
+        }
+    }
+    arcs.sort_unstable();
+    arcs.dedup();
+    let cost: Cost = arcs.iter().map(|&a| lg.arcs[a].cost).sum();
+    debug_assert!(
+        cost <= best + Cost::new(1e-9),
+        "reconstruction ({cost}) exceeds dp bound ({best})"
+    );
+    Some(Arborescence { cost, arcs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sof_core::{Network, Request, ServiceChain, SofInstance};
+    use sof_graph::{Graph, NodeId};
+
+    /// Path 0-1-2-3 with VM at 1 (cost 5) and 2 (cost 1); source 0; dest 3.
+    fn instance(chain: usize) -> SofInstance {
+        let mut g = Graph::with_nodes(4);
+        for i in 0..3 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1), Cost::new(1.0));
+        }
+        let mut net = Network::all_switches(g);
+        net.make_vm(NodeId::new(1), Cost::new(5.0));
+        net.make_vm(NodeId::new(2), Cost::new(1.0));
+        SofInstance::new(
+            net,
+            Request::new(
+                vec![NodeId::new(0)],
+                vec![NodeId::new(3)],
+                ServiceChain::with_len(chain),
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_vnf_picks_cheap_vm() {
+        let inst = instance(1);
+        let lg = LayeredGraph::build(&inst, Cost::ZERO);
+        let arb = directed_steiner(&lg, &Restrictions::default()).unwrap();
+        // Route 0→1→2 (process at 2, cost 1) →3: links 3 + VM 1 = 4.
+        assert_eq!(arb.cost, Cost::new(4.0));
+    }
+
+    #[test]
+    fn restriction_forces_expensive_vm() {
+        let inst = instance(1);
+        let lg = LayeredGraph::build(&inst, Cost::ZERO);
+        let mut r = Restrictions::default();
+        r.restrict(2, 0); // forbid VM 2 entirely
+        let arb = directed_steiner(&lg, &r).unwrap();
+        // Must process at VM 1: links 3 + VM 5 = 8.
+        assert_eq!(arb.cost, Cost::new(8.0));
+        r.restrict(1, 0);
+        assert!(directed_steiner(&lg, &r).is_none());
+    }
+
+    #[test]
+    fn chain_of_two_uses_both_vms() {
+        let inst = instance(2);
+        let lg = LayeredGraph::build(&inst, Cost::ZERO);
+        let arb = directed_steiner(&lg, &Restrictions::default()).unwrap();
+        // Both VMs must process (relaxation may reuse one: VM2 twice = links
+        // 3 + 2·1 = 5; distinct would cost links 3 + 5 + 1 = 9).
+        assert_eq!(arb.cost, Cost::new(5.0));
+        let procs: Vec<_> = arb
+            .arcs
+            .iter()
+            .filter_map(|&a| lg.arcs[a].process)
+            .collect();
+        assert_eq!(procs.len(), 2);
+    }
+
+    #[test]
+    fn multi_destination_shares_layers() {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1), Cost::new(1.0));
+        }
+        g.add_edge(NodeId::new(1), NodeId::new(4), Cost::new(1.0));
+        let mut net = Network::all_switches(g);
+        net.make_vm(NodeId::new(1), Cost::new(1.0));
+        let inst = SofInstance::new(
+            net,
+            Request::new(
+                vec![NodeId::new(0)],
+                vec![NodeId::new(3), NodeId::new(4)],
+                ServiceChain::with_len(1),
+            ),
+        )
+        .unwrap();
+        let lg = LayeredGraph::build(&inst, Cost::ZERO);
+        let arb = directed_steiner(&lg, &Restrictions::default()).unwrap();
+        // 0→1 (1), process at 1 (1), then 1→4 (1) and 4→3 (1): total 4.
+        assert_eq!(arb.cost, Cost::new(4.0));
+    }
+}

@@ -1,0 +1,212 @@
+//! Single-source and multi-source Dijkstra shortest paths.
+
+use crate::{Cost, EdgeId, Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a (multi-source) Dijkstra run.
+///
+/// Stores, for every node, the distance to the closest source, the parent
+/// hop on a shortest path, and which source ("site") it is closest to — the
+/// latter turns the structure into a Voronoi partition, which is what
+/// Mehlhorn's Steiner approximation consumes.
+///
+/// # Examples
+///
+/// ```
+/// use sof_graph::{Graph, Cost, NodeId, ShortestPaths};
+///
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(1.0));
+/// g.add_edge(NodeId::new(1), NodeId::new(2), Cost::new(2.0));
+/// let sp = ShortestPaths::from_source(&g, NodeId::new(0));
+/// assert_eq!(sp.dist(NodeId::new(2)), Cost::new(3.0));
+/// assert_eq!(
+///     sp.path_to(NodeId::new(2)).unwrap(),
+///     vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    dist: Vec<Cost>,
+    parent: Vec<Option<(NodeId, EdgeId)>>,
+    site: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// Runs Dijkstra from a single source.
+    pub fn from_source(graph: &Graph, source: NodeId) -> ShortestPaths {
+        ShortestPaths::from_sources(graph, std::iter::once(source))
+    }
+
+    /// Runs Dijkstra from several sources at once.
+    ///
+    /// Every node is labelled with its closest source (`site`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source is out of range.
+    pub fn from_sources<I>(graph: &Graph, sources: I) -> ShortestPaths
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let n = graph.node_count();
+        let mut dist = vec![Cost::INFINITY; n];
+        let mut parent = vec![None; n];
+        let mut site = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        for s in sources {
+            assert!(s.index() < n, "source {s} out of range");
+            if dist[s.index()] > Cost::ZERO {
+                dist[s.index()] = Cost::ZERO;
+                site[s.index()] = Some(s);
+                heap.push(Reverse((Cost::ZERO, s)));
+            }
+        }
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u.index()] {
+                continue;
+            }
+            for (v, e) in graph.neighbors(u) {
+                let nd = d + graph.edge_cost(e);
+                if nd < dist[v.index()] {
+                    dist[v.index()] = nd;
+                    parent[v.index()] = Some((u, e));
+                    site[v.index()] = site[u.index()];
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        ShortestPaths { dist, parent, site }
+    }
+
+    /// Distance from the closest source to `v`.
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> Cost {
+        self.dist[v.index()]
+    }
+
+    /// The source closest to `v`, or `None` if `v` is unreachable.
+    #[inline]
+    pub fn site(&self, v: NodeId) -> Option<NodeId> {
+        self.site[v.index()]
+    }
+
+    /// Parent hop of `v` on its shortest path, or `None` at sources and
+    /// unreachable nodes.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<(NodeId, EdgeId)> {
+        self.parent[v.index()]
+    }
+
+    /// Returns the shortest path from the closest source to `v` as a node
+    /// sequence (source first), or `None` if `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.dist[v.index()].is_finite() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some((p, _)) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Returns the edges of the shortest path to `v` (in source→`v` order).
+    pub fn edges_to(&self, v: NodeId) -> Option<Vec<EdgeId>> {
+        if !self.dist[v.index()].is_finite() {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = v;
+        while let Some((p, e)) = self.parent[cur.index()] {
+            edges.push(e);
+            cur = p;
+        }
+        edges.reverse();
+        Some(edges)
+    }
+
+    /// Number of nodes covered by this run.
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Returns `true` if the run covered no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 -1- 1 -1- 2
+    ///  \----5----/     plus isolated node 3
+    fn diamond() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(1.0));
+        g.add_edge(NodeId::new(1), NodeId::new(2), Cost::new(1.0));
+        g.add_edge(NodeId::new(0), NodeId::new(2), Cost::new(5.0));
+        g
+    }
+
+    #[test]
+    fn single_source_distances() {
+        let g = diamond();
+        let sp = ShortestPaths::from_source(&g, NodeId::new(0));
+        assert_eq!(sp.dist(NodeId::new(0)), Cost::ZERO);
+        assert_eq!(sp.dist(NodeId::new(2)), Cost::new(2.0));
+        assert_eq!(sp.dist(NodeId::new(3)), Cost::INFINITY);
+        assert_eq!(sp.path_to(NodeId::new(3)), None);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let g = diamond();
+        let sp = ShortestPaths::from_source(&g, NodeId::new(0));
+        let path = sp.path_to(NodeId::new(2)).unwrap();
+        assert_eq!(path, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        let edges = sp.edges_to(NodeId::new(2)).unwrap();
+        assert_eq!(edges.len(), 2);
+        let total: Cost = edges.iter().map(|&e| g.edge_cost(e)).sum();
+        assert_eq!(total, Cost::new(2.0));
+    }
+
+    #[test]
+    fn multi_source_voronoi() {
+        let mut g = Graph::with_nodes(5);
+        // 0 -1- 1 -1- 2 -1- 3 -1- 4; sources 0 and 4.
+        for i in 0..4 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1), Cost::new(1.0));
+        }
+        let sp = ShortestPaths::from_sources(&g, [NodeId::new(0), NodeId::new(4)]);
+        assert_eq!(sp.site(NodeId::new(1)), Some(NodeId::new(0)));
+        assert_eq!(sp.site(NodeId::new(3)), Some(NodeId::new(4)));
+        assert_eq!(sp.dist(NodeId::new(2)), Cost::new(2.0));
+        // Sites of the sources themselves.
+        assert_eq!(sp.site(NodeId::new(0)), Some(NodeId::new(0)));
+        assert_eq!(sp.site(NodeId::new(4)), Some(NodeId::new(4)));
+    }
+
+    #[test]
+    fn duplicate_sources_are_fine() {
+        let g = diamond();
+        let sp = ShortestPaths::from_sources(&g, [NodeId::new(0), NodeId::new(0)]);
+        assert_eq!(sp.dist(NodeId::new(1)), Cost::new(1.0));
+    }
+
+    #[test]
+    fn zero_cost_edges() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), Cost::ZERO);
+        g.add_edge(NodeId::new(1), NodeId::new(2), Cost::ZERO);
+        let sp = ShortestPaths::from_source(&g, NodeId::new(0));
+        assert_eq!(sp.dist(NodeId::new(2)), Cost::ZERO);
+        assert_eq!(sp.path_to(NodeId::new(2)).unwrap().len(), 3);
+    }
+}

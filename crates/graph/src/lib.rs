@@ -1,0 +1,55 @@
+//! Graph substrate for the Service Overlay Forest (SOF) workspace.
+//!
+//! This crate provides everything the SOF algorithms need from a graph
+//! library, implemented from scratch:
+//!
+//! * [`Graph`] — undirected weighted adjacency-list graph with typed
+//!   [`NodeId`] / [`EdgeId`] handles and non-NaN [`Cost`] weights,
+//! * [`ShortestPaths`] — single- and multi-source Dijkstra with path
+//!   reconstruction and Voronoi sites (for Mehlhorn's Steiner algorithm),
+//! * [`MetricClosure`] — pairwise terminal distances with realizing paths,
+//! * [`minimum_spanning_forest`] — Kruskal MST over a [`UnionFind`],
+//! * [`generators`] — deterministic connected random topologies (Erdős–Rényi,
+//!   ring, grid, Waxman, Inet-style power law),
+//! * [`Rng64`] — a seedable xoshiro256** generator so every experiment in the
+//!   workspace reproduces bit-for-bit.
+//!
+//! # Examples
+//!
+//! Build a small network and query a shortest path:
+//!
+//! ```
+//! use sof_graph::{Graph, Cost, NodeId, ShortestPaths};
+//!
+//! let mut g = Graph::with_nodes(4);
+//! g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(1.0));
+//! g.add_edge(NodeId::new(1), NodeId::new(2), Cost::new(1.0));
+//! g.add_edge(NodeId::new(0), NodeId::new(3), Cost::new(10.0));
+//! g.add_edge(NodeId::new(3), NodeId::new(2), Cost::new(1.0));
+//!
+//! let sp = ShortestPaths::from_source(&g, NodeId::new(0));
+//! assert_eq!(sp.dist(NodeId::new(2)), Cost::new(2.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod dijkstra;
+pub mod generators;
+mod graph;
+mod ids;
+mod metric;
+mod mst;
+mod rng;
+mod unionfind;
+
+pub use cost::Cost;
+pub use dijkstra::ShortestPaths;
+pub use generators::CostRange;
+pub use graph::{Edge, Graph};
+pub use ids::{EdgeId, NodeId};
+pub use metric::MetricClosure;
+pub use mst::{edge_set_cost, minimum_spanning_forest};
+pub use rng::Rng64;
+pub use unionfind::UnionFind;

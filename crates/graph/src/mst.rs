@@ -1,0 +1,89 @@
+//! Minimum spanning tree / forest via Kruskal's algorithm.
+
+use crate::{Cost, EdgeId, Graph, UnionFind};
+
+/// Computes a minimum spanning forest of `graph` with Kruskal's algorithm.
+///
+/// Returns the selected edge ids. If the graph is connected the result is a
+/// spanning tree with `node_count - 1` edges; otherwise one tree per
+/// component.
+///
+/// Ties are broken by edge id, so the result is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use sof_graph::{Graph, Cost, NodeId, minimum_spanning_forest};
+///
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(1.0));
+/// g.add_edge(NodeId::new(1), NodeId::new(2), Cost::new(2.0));
+/// g.add_edge(NodeId::new(0), NodeId::new(2), Cost::new(9.0));
+/// let mst = minimum_spanning_forest(&g);
+/// let total: Cost = mst.iter().map(|&e| g.edge_cost(e)).sum();
+/// assert_eq!(total, Cost::new(3.0));
+/// ```
+pub fn minimum_spanning_forest(graph: &Graph) -> Vec<EdgeId> {
+    let mut order: Vec<EdgeId> = graph.edges().map(|(id, _)| id).collect();
+    order.sort_by_key(|&e| (graph.edge_cost(e), e));
+    let mut uf = UnionFind::new(graph.node_count());
+    let mut picked = Vec::with_capacity(graph.node_count().saturating_sub(1));
+    for e in order {
+        let edge = graph.edge(e);
+        if uf.union(edge.u.index(), edge.v.index()) {
+            picked.push(e);
+            if picked.len() + 1 == graph.node_count() {
+                break;
+            }
+        }
+    }
+    picked
+}
+
+/// Total cost of a set of edges in `graph`.
+pub fn edge_set_cost(graph: &Graph, edges: &[EdgeId]) -> Cost {
+    edges.iter().map(|&e| graph.edge_cost(e)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn spanning_tree_of_connected_graph() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(1.0));
+        g.add_edge(NodeId::new(1), NodeId::new(2), Cost::new(2.0));
+        g.add_edge(NodeId::new(2), NodeId::new(3), Cost::new(3.0));
+        g.add_edge(NodeId::new(3), NodeId::new(0), Cost::new(4.0));
+        g.add_edge(NodeId::new(0), NodeId::new(2), Cost::new(10.0));
+        let mst = minimum_spanning_forest(&g);
+        assert_eq!(mst.len(), 3);
+        assert_eq!(edge_set_cost(&g, &mst), Cost::new(6.0));
+    }
+
+    #[test]
+    fn forest_of_disconnected_graph() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(1.0));
+        g.add_edge(NodeId::new(2), NodeId::new(3), Cost::new(2.0));
+        let mst = minimum_spanning_forest(&g);
+        assert_eq!(mst.len(), 2);
+    }
+
+    #[test]
+    fn prefers_cheap_parallel_edge() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(7.0));
+        let cheap = g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(1.0));
+        let mst = minimum_spanning_forest(&g);
+        assert_eq!(mst, vec![cheap]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert!(minimum_spanning_forest(&g).is_empty());
+    }
+}

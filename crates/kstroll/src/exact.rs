@@ -1,0 +1,189 @@
+//! Exact k-stroll via branch-and-bound depth-first search.
+
+use crate::{DenseMetric, Stroll};
+use sof_graph::Cost;
+
+/// Upper bound on the DFS search-space estimate accepted by
+/// [`estimated_work`]-guarded callers (the `Auto` solver).
+pub const AUTO_EXACT_WORK_LIMIT: f64 = 5e6;
+
+/// Estimates the unpruned DFS node count for an instance.
+pub fn estimated_work(n: usize, k: usize) -> f64 {
+    if k < 2 {
+        return 1.0;
+    }
+    let interior = k - 2;
+    let mut work = 1.0f64;
+    for i in 0..interior {
+        work *= (n.saturating_sub(2 + i)) as f64;
+    }
+    work
+}
+
+/// Finds the **minimum-cost** simple path from `source` to `target` visiting
+/// exactly `k` distinct nodes, by exhaustive search with cost pruning.
+///
+/// Returns `None` when no such path exists (`k > n`, or `k != 1` with
+/// `source == target`, or `k < 2` with distinct endpoints).
+///
+/// # Examples
+///
+/// ```
+/// use sof_kstroll::{exact_stroll, DenseMetric};
+/// use sof_graph::Cost;
+///
+/// let m = DenseMetric::from_fn(4, |i, j| Cost::new((i as f64 - j as f64).abs()));
+/// let s = exact_stroll(&m, 0, 3, 4).unwrap();
+/// assert_eq!(s.nodes, vec![0, 1, 2, 3]);
+/// assert_eq!(s.cost, Cost::new(3.0));
+/// ```
+pub fn exact_stroll(metric: &DenseMetric, source: usize, target: usize, k: usize) -> Option<Stroll> {
+    let n = metric.len();
+    if source >= n || target >= n || k > n {
+        return None;
+    }
+    if source == target {
+        return (k == 1).then(|| Stroll::from_nodes(metric, vec![source]));
+    }
+    if k < 2 {
+        return None;
+    }
+    if k == 2 {
+        return Some(Stroll::from_nodes(metric, vec![source, target]));
+    }
+
+    // Cheapest positive hop, used for the admissible lower bound.
+    let mut min_edge = Cost::INFINITY;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                min_edge = min_edge.min(metric.cost(i, j));
+            }
+        }
+    }
+
+    let interior = k - 2;
+    let mut used = vec![false; n];
+    used[source] = true;
+    used[target] = true;
+    let mut path = vec![source];
+    let mut best: Option<(Cost, Vec<usize>)> = None;
+
+    // Candidate pool excluding the endpoints.
+    let candidates: Vec<usize> = (0..n).filter(|&v| v != source && v != target).collect();
+
+    fn dfs(
+        metric: &DenseMetric,
+        candidates: &[usize],
+        target: usize,
+        remaining: usize,
+        min_edge: Cost,
+        cur_cost: Cost,
+        path: &mut Vec<usize>,
+        used: &mut [bool],
+        best: &mut Option<(Cost, Vec<usize>)>,
+    ) {
+        let cur = *path.last().expect("path never empty");
+        if remaining == 0 {
+            let total = cur_cost + metric.cost(cur, target);
+            if best.as_ref().is_none_or(|(b, _)| total < *b) {
+                let mut nodes = path.clone();
+                nodes.push(target);
+                *best = Some((total, nodes));
+            }
+            return;
+        }
+        // Lower bound: every remaining hop (including closing) costs at
+        // least `min_edge`.
+        if let Some((b, _)) = best {
+            let bound = cur_cost + min_edge * (remaining as f64 + 1.0);
+            if bound >= *b {
+                return;
+            }
+        }
+        // Visit nearest-first for stronger pruning.
+        let mut order: Vec<usize> = candidates.iter().copied().filter(|&v| !used[v]).collect();
+        order.sort_by_key(|&v| metric.cost(cur, v));
+        for v in order {
+            used[v] = true;
+            path.push(v);
+            dfs(
+                metric,
+                candidates,
+                target,
+                remaining - 1,
+                min_edge,
+                cur_cost + metric.cost(cur, v),
+                path,
+                used,
+                best,
+            );
+            path.pop();
+            used[v] = false;
+        }
+    }
+
+    dfs(
+        metric,
+        &candidates,
+        target,
+        interior,
+        min_edge,
+        Cost::ZERO,
+        &mut path,
+        &mut used,
+        &mut best,
+    );
+    best.map(|(_, nodes)| Stroll::from_nodes(metric, nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> DenseMetric {
+        DenseMetric::from_fn(n, |i, j| Cost::new((i as f64 - j as f64).abs()))
+    }
+
+    #[test]
+    fn shortest_with_all_nodes_is_monotone_line() {
+        let m = line(5);
+        let s = exact_stroll(&m, 0, 4, 5).unwrap();
+        assert_eq!(s.nodes, vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.cost, Cost::new(4.0));
+    }
+
+    #[test]
+    fn k_two_is_direct_edge() {
+        let m = line(5);
+        let s = exact_stroll(&m, 1, 3, 2).unwrap();
+        assert_eq!(s.nodes, vec![1, 3]);
+        assert_eq!(s.cost, Cost::new(2.0));
+    }
+
+    #[test]
+    fn detour_forced_by_k() {
+        // Visiting 4 distinct nodes on the line from 0 to 1 forces a detour.
+        let m = line(4);
+        let s = exact_stroll(&m, 0, 1, 4).unwrap();
+        s.validate(&m, 0, 1, 4).unwrap();
+        // Best: 0,3,2,1 -> 3 + 1 + 1 = 5 or 0,2,3,1: 2+1+2=5.
+        assert_eq!(s.cost, Cost::new(5.0));
+    }
+
+    #[test]
+    fn infeasible_cases() {
+        let m = line(3);
+        assert!(exact_stroll(&m, 0, 2, 4).is_none()); // k > n
+        assert!(exact_stroll(&m, 0, 0, 2).is_none()); // s == t, k != 1
+        assert!(exact_stroll(&m, 0, 2, 1).is_none()); // k < 2, s != t
+        assert_eq!(exact_stroll(&m, 1, 1, 1).unwrap().nodes, vec![1]);
+    }
+
+    #[test]
+    fn work_estimate_grows() {
+        assert_eq!(estimated_work(10, 2), 1.0);
+        assert_eq!(estimated_work(10, 3), 8.0);
+        assert_eq!(estimated_work(10, 4), 8.0 * 7.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! A minimal discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation time in seconds.
+pub type SimTime = f64;
+
+/// A deterministic future-event queue.
+///
+/// Events at equal times fire in insertion order (a monotone sequence number
+/// breaks ties), which keeps runs reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use sof_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "later");
+/// q.schedule(1.0, "sooner");
+/// q.schedule(1.0, "same-time-second");
+/// assert_eq!(q.pop(), Some((1.0, "sooner")));
+/// assert_eq!(q.pop(), Some((1.0, "same-time-second")));
+/// assert_eq!(q.pop(), Some((2.0, "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(OrderedTime, u64, usize)>>,
+    payloads: Vec<Option<E>>,
+    seq: u64,
+}
+
+/// Total-ordered wrapper for event times (NaN is rejected on insert).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct OrderedTime(f64);
+
+impl Eq for OrderedTime {}
+
+impl PartialOrd for OrderedTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN or negative.
+    pub fn schedule(&mut self, t: SimTime, event: E) {
+        assert!(!t.is_nan() && t >= 0.0, "invalid event time {t}");
+        let slot = self.payloads.len();
+        self.payloads.push(Some(event));
+        self.heap.push(Reverse((OrderedTime(t), self.seq, slot)));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((t, _, slot)) = self.heap.pop()?;
+        let e = self.payloads[slot].take().expect("event fired once");
+        Some((t.0, e))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| t.0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(1.0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((1.0, i)));
+        }
+    }
+
+    #[test]
+    fn ordering_across_times() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, 'c');
+        q.schedule(0.5, 'a');
+        q.schedule(2.5, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid event time")]
+    fn rejects_nan() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+}

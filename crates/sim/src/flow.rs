@@ -1,0 +1,219 @@
+//! Flow-level bandwidth sharing with max-min fairness.
+
+use sof_graph::EdgeId;
+use std::collections::HashMap;
+
+/// A unidirectional data flow over a set of links.
+#[derive(Clone, Debug)]
+pub struct Flow {
+    /// Links the flow traverses (undirected capacity pools).
+    pub links: Vec<EdgeId>,
+    /// Optional cap on the flow's rate (e.g. the stream's bitrate).
+    pub rate_cap: Option<f64>,
+}
+
+/// Computes the **max-min fair** allocation (progressive filling): rates
+/// grow together; when a link saturates, its flows freeze at their current
+/// share; capped flows freeze at their cap.
+///
+/// Returns one rate (Mbps — any consistent unit) per flow.
+///
+/// # Panics
+///
+/// Panics if a flow references a link with no declared capacity.
+///
+/// # Examples
+///
+/// ```
+/// use sof_sim::{max_min_rates, Flow};
+/// use sof_graph::EdgeId;
+/// use std::collections::HashMap;
+///
+/// let mut cap = HashMap::new();
+/// cap.insert(EdgeId::new(0), 9.0);
+/// cap.insert(EdgeId::new(1), 4.0);
+/// let flows = vec![
+///     Flow { links: vec![EdgeId::new(0)], rate_cap: None },
+///     Flow { links: vec![EdgeId::new(0), EdgeId::new(1)], rate_cap: None },
+/// ];
+/// let rates = max_min_rates(&flows, &cap);
+/// // Link 1 saturates first: flow 1 gets 4; flow 0 then takes 9−4 = 5.
+/// assert!((rates[1] - 4.0).abs() < 1e-9);
+/// assert!((rates[0] - 5.0).abs() < 1e-9);
+/// ```
+pub fn max_min_rates(flows: &[Flow], capacities: &HashMap<EdgeId, f64>) -> Vec<f64> {
+    let n = flows.len();
+    let mut rate = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+    let mut remaining: HashMap<EdgeId, f64> = capacities.clone();
+    // Active flow count per link.
+    let mut active_on: HashMap<EdgeId, usize> = HashMap::new();
+    for f in flows {
+        for &l in &f.links {
+            assert!(
+                capacities.contains_key(&l),
+                "flow uses link {l} without declared capacity"
+            );
+            *active_on.entry(l).or_insert(0) += 1;
+        }
+    }
+    let mut level = 0.0f64; // common fill level of unfrozen flows
+    loop {
+        let unfrozen: Vec<usize> = (0..n).filter(|&i| !frozen[i]).collect();
+        if unfrozen.is_empty() {
+            break;
+        }
+        // Next freeze point: either a link saturates or a cap binds.
+        let mut next = f64::INFINITY;
+        for (&l, &rem) in &remaining {
+            let users = active_on.get(&l).copied().unwrap_or(0);
+            if users > 0 {
+                next = next.min(level + rem / users as f64);
+            }
+        }
+        for &i in &unfrozen {
+            if let Some(cap) = flows[i].rate_cap {
+                next = next.min(cap);
+            }
+        }
+        if !next.is_finite() {
+            // No binding constraint: unconstrained flows get "infinite"
+            // bandwidth — clamp to something enormous but finite.
+            for &i in &unfrozen {
+                rate[i] = flows[i].rate_cap.unwrap_or(f64::MAX / 4.0);
+                frozen[i] = true;
+            }
+            break;
+        }
+        let delta = next - level;
+        // Charge links.
+        for (&l, rem) in remaining.iter_mut() {
+            let users = active_on.get(&l).copied().unwrap_or(0);
+            *rem -= delta * users as f64;
+        }
+        level = next;
+        for &i in &unfrozen {
+            rate[i] = level;
+        }
+        // Freeze flows at saturated links or at their caps.
+        let saturated: Vec<EdgeId> = remaining
+            .iter()
+            .filter(|&(_, &rem)| rem <= 1e-9)
+            .map(|(&l, _)| l)
+            .collect();
+        let mut froze_any = false;
+        for i in unfrozen {
+            let capped = flows[i].rate_cap.is_some_and(|c| level >= c - 1e-12);
+            let bottlenecked = flows[i].links.iter().any(|l| saturated.contains(l));
+            if capped || bottlenecked {
+                frozen[i] = true;
+                froze_any = true;
+                for &l in &flows[i].links {
+                    *active_on.get_mut(&l).expect("registered") -= 1;
+                }
+            }
+        }
+        if !froze_any {
+            // Numerical edge: force-freeze the most constrained flow.
+            if let Some(i) = (0..n).find(|&i| !frozen[i]) {
+                frozen[i] = true;
+                for &l in &flows[i].links {
+                    *active_on.get_mut(&l).expect("registered") -= 1;
+                }
+            }
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(pairs: &[(usize, f64)]) -> HashMap<EdgeId, f64> {
+        pairs.iter().map(|&(i, c)| (EdgeId::new(i), c)).collect()
+    }
+
+    fn flow(links: &[usize]) -> Flow {
+        Flow {
+            links: links.iter().map(|&i| EdgeId::new(i)).collect(),
+            rate_cap: None,
+        }
+    }
+
+    #[test]
+    fn equal_share_on_single_link() {
+        let rates = max_min_rates(&[flow(&[0]), flow(&[0]), flow(&[0])], &cap(&[(0, 9.0)]));
+        for r in rates {
+            assert!((r - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn classic_three_link_example() {
+        // f0 over l0,l1; f1 over l0; f2 over l1. caps l0=10, l1=4.
+        let rates = max_min_rates(
+            &[flow(&[0, 1]), flow(&[0]), flow(&[1])],
+            &cap(&[(0, 10.0), (1, 4.0)]),
+        );
+        // l1 splits 2/2 first; then f1 takes the rest of l0 = 8.
+        assert!((rates[0] - 2.0).abs() < 1e-9);
+        assert!((rates[2] - 2.0).abs() < 1e-9);
+        assert!((rates[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_caps_release_bandwidth() {
+        let flows = vec![
+            Flow {
+                links: vec![EdgeId::new(0)],
+                rate_cap: Some(1.0),
+            },
+            flow(&[0]),
+        ];
+        let rates = max_min_rates(&flows, &cap(&[(0, 10.0)]));
+        assert!((rates[0] - 1.0).abs() < 1e-9);
+        assert!((rates[1] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_property_holds() {
+        // Every flow must either hit its cap or cross a saturated link
+        // where it has the maximal rate (the max-min optimality condition).
+        let capacities = cap(&[(0, 7.0), (1, 5.0), (2, 3.0), (3, 11.0)]);
+        let flows = vec![
+            flow(&[0, 1]),
+            flow(&[1, 2]),
+            flow(&[2, 3]),
+            flow(&[0, 3]),
+            flow(&[3]),
+        ];
+        let rates = max_min_rates(&flows, &capacities);
+        for (i, f) in flows.iter().enumerate() {
+            let mut bottleneck = false;
+            for &l in &f.links {
+                let used: f64 = flows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.links.contains(&l))
+                    .map(|(j, _)| rates[j])
+                    .sum();
+                let saturated = used >= capacities[&l] - 1e-6;
+                let max_there = flows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.links.contains(&l))
+                    .all(|(j, _)| rates[j] <= rates[i] + 1e-6);
+                if saturated && max_there {
+                    bottleneck = true;
+                }
+            }
+            assert!(bottleneck, "flow {i} has no bottleneck link");
+        }
+    }
+
+    #[test]
+    fn empty_flow_list() {
+        assert!(max_min_rates(&[], &cap(&[(0, 1.0)])).is_empty());
+    }
+}

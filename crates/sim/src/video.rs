@@ -1,0 +1,326 @@
+//! Video player QoE model: startup latency and rebuffering time, driven by
+//! the flow-level rates (Table II's metrics).
+
+use crate::{max_min_rates, Flow};
+use sof_graph::EdgeId;
+use std::collections::HashMap;
+
+/// Player / stream parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlayerConfig {
+    /// Video duration in seconds (the paper's test clip: 137 s).
+    pub duration_s: f64,
+    /// Stream bitrate in Mbps (paper: 8 Mbps H.264).
+    pub bitrate_mbps: f64,
+    /// Content seconds buffered before playback starts.
+    pub startup_buffer_s: f64,
+    /// Content seconds buffered before playback resumes after a stall.
+    pub resume_buffer_s: f64,
+}
+
+impl Default for PlayerConfig {
+    fn default() -> PlayerConfig {
+        PlayerConfig {
+            duration_s: 137.0,
+            bitrate_mbps: 8.0,
+            startup_buffer_s: 2.0,
+            resume_buffer_s: 1.0,
+        }
+    }
+}
+
+/// Environment profile: fixed control-plane/session overhead added to the
+/// startup latency ("Ours" HP testbed vs Emulab in Table II).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnvironmentProfile {
+    /// Name for reports.
+    pub name: &'static str,
+    /// Constant startup overhead (rule installation, RTSP handshake…).
+    pub startup_overhead_s: f64,
+}
+
+impl EnvironmentProfile {
+    /// The HP-switch hardware testbed ("Ours" column).
+    pub fn hardware_testbed() -> EnvironmentProfile {
+        EnvironmentProfile {
+            name: "ours",
+            startup_overhead_s: 3.0,
+        }
+    }
+
+    /// The Emulab deployment.
+    pub fn emulab() -> EnvironmentProfile {
+        EnvironmentProfile {
+            name: "emulab",
+            startup_overhead_s: 1.5,
+        }
+    }
+}
+
+/// Per-viewer QoE outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Qoe {
+    /// Seconds from request to first frame.
+    pub startup_latency_s: f64,
+    /// Total stall time during playback.
+    pub rebuffering_s: f64,
+}
+
+/// One viewer's download session.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// The links this viewer's stream traverses.
+    pub links: Vec<EdgeId>,
+}
+
+/// Simulates all sessions concurrently (discrete events at download
+/// completions, max-min fair rates in between) and returns each viewer's
+/// QoE.
+///
+/// Sessions start at `t = 0`; each downloads `duration · bitrate` megabits,
+/// capped at the bitrate ×\u{00a0}`overdrive` (players rarely fetch much faster
+/// than real time; 1.25 by default in the caller).
+pub fn simulate_sessions(
+    sessions: &[Session],
+    capacities: &HashMap<EdgeId, f64>,
+    player: &PlayerConfig,
+    env: &EnvironmentProfile,
+    overdrive: f64,
+) -> Vec<Qoe> {
+    let n = sessions.len();
+    let total_content = player.duration_s; // in content-seconds
+    let mut downloaded = vec![0.0f64; n]; // content-seconds received
+    let mut done = vec![false; n];
+    // Piecewise download curves: (time, downloaded) breakpoints per session.
+    let mut curves: Vec<Vec<(f64, f64)>> = vec![vec![(0.0, 0.0)]; n];
+    let mut t = 0.0f64;
+    // Quasi-static loop: recompute rates whenever a session completes.
+    while done.iter().any(|&d| !d) {
+        let flows: Vec<Flow> = sessions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Flow {
+                links: if done[i] { vec![] } else { s.links.clone() },
+                rate_cap: Some(if done[i] {
+                    0.0
+                } else {
+                    player.bitrate_mbps * overdrive
+                }),
+            })
+            .collect();
+        let rates = max_min_rates(&flows, capacities);
+        // Content-seconds per wall second.
+        let speed: Vec<f64> = rates.iter().map(|r| r / player.bitrate_mbps).collect();
+        // Next completion.
+        let mut dt = f64::INFINITY;
+        for i in 0..n {
+            if !done[i] && speed[i] > 1e-12 {
+                dt = dt.min((total_content - downloaded[i]) / speed[i]);
+            }
+        }
+        if !dt.is_finite() {
+            break; // starved sessions never finish; curves stay flat
+        }
+        t += dt;
+        for i in 0..n {
+            if !done[i] {
+                downloaded[i] = (downloaded[i] + speed[i] * dt).min(total_content);
+                curves[i].push((t, downloaded[i]));
+                if downloaded[i] >= total_content - 1e-9 {
+                    done[i] = true;
+                }
+            }
+        }
+    }
+    curves
+        .iter()
+        .enumerate()
+        .map(|(i, curve)| playback_qoe(curve, player, env, done[i]))
+        .collect()
+}
+
+/// Replays the player against a piecewise-linear download curve.
+fn playback_qoe(
+    curve: &[(f64, f64)],
+    player: &PlayerConfig,
+    env: &EnvironmentProfile,
+    completed: bool,
+) -> Qoe {
+    if !completed {
+        // Starved: never starts or stalls forever; report sentinel values.
+        return Qoe {
+            startup_latency_s: f64::INFINITY,
+            rebuffering_s: f64::INFINITY,
+        };
+    }
+    let downloaded_at = |time: f64| -> f64 {
+        // Linear interpolation over breakpoints.
+        let mut prev = curve[0];
+        for &(bt, bd) in curve.iter().skip(1) {
+            if time <= bt {
+                let frac = if bt > prev.0 { (time - prev.0) / (bt - prev.0) } else { 1.0 };
+                return prev.1 + frac * (bd - prev.1);
+            }
+            prev = (bt, bd);
+        }
+        prev.1
+    };
+    let time_when_downloaded = |amount: f64| -> f64 {
+        let mut prev = curve[0];
+        for &(bt, bd) in curve.iter().skip(1) {
+            if bd >= amount - 1e-12 {
+                let span = bd - prev.1;
+                let frac = if span > 1e-15 { (amount - prev.1) / span } else { 0.0 };
+                return prev.0 + frac * (bt - prev.0);
+            }
+            prev = (bt, bd);
+        }
+        prev.0
+    };
+    let start_play = time_when_downloaded(player.startup_buffer_s.min(player.duration_s));
+    let startup_latency = start_play + env.startup_overhead_s;
+    // Play through, accounting stalls.
+    let mut played = 0.0f64;
+    let mut clock = start_play;
+    let mut stalled = 0.0f64;
+    while played < player.duration_s - 1e-9 {
+        let buffer = downloaded_at(clock) - played;
+        if buffer > 1e-9 {
+            // Play until the buffer would empty or the video ends.
+            // The buffer drains at 1 − fill_rate; just step to the next
+            // curve breakpoint or depletion, whichever first.
+            let next_bp = curve
+                .iter()
+                .map(|&(bt, _)| bt)
+                .find(|&bt| bt > clock + 1e-12);
+            let deplete = clock + buffer; // worst case: no further download
+            let step_to = match next_bp {
+                Some(bp) => bp.min(deplete),
+                None => deplete,
+            };
+            let dt = (step_to - clock).max(1e-9);
+            let fill = downloaded_at(clock + dt) - downloaded_at(clock);
+            // Playback consumes min(dt, available).
+            let consumable = (buffer + fill).min(dt);
+            played = (played + consumable).min(player.duration_s);
+            clock += dt;
+        } else {
+            // Stalled: wait for resume_buffer_s more content (or the end).
+            let target = (played + player.resume_buffer_s).min(player.duration_s);
+            let resume_at = time_when_downloaded(target);
+            if resume_at <= clock + 1e-12 {
+                // Curve already past target (numerical) — nudge forward.
+                clock += 1e-9;
+                continue;
+            }
+            stalled += resume_at - clock;
+            clock = resume_at;
+        }
+    }
+    Qoe {
+        startup_latency_s: startup_latency,
+        rebuffering_s: stalled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(pairs: &[(usize, f64)]) -> HashMap<EdgeId, f64> {
+        pairs.iter().map(|&(i, c)| (EdgeId::new(i), c)).collect()
+    }
+
+    #[test]
+    fn fast_link_means_no_rebuffering() {
+        let sessions = vec![Session {
+            links: vec![EdgeId::new(0)],
+        }];
+        let player = PlayerConfig::default();
+        let qoe = simulate_sessions(
+            &sessions,
+            &caps(&[(0, 100.0)]),
+            &player,
+            &EnvironmentProfile::emulab(),
+            1.25,
+        );
+        assert!(qoe[0].rebuffering_s < 1e-6);
+        // Startup: 2 s of content at 1.25× real time + 1.5 s overhead.
+        let expect = 2.0 / 1.25 + 1.5;
+        assert!((qoe[0].startup_latency_s - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slow_link_rebuffers_proportionally() {
+        let sessions = vec![Session {
+            links: vec![EdgeId::new(0)],
+        }];
+        let player = PlayerConfig::default();
+        // 4 Mbps for an 8 Mbps stream: download takes 2× duration.
+        let qoe = simulate_sessions(
+            &sessions,
+            &caps(&[(0, 4.0)]),
+            &player,
+            &EnvironmentProfile::emulab(),
+            1.25,
+        );
+        // Total wall time to play = download time (274 s); playback time =
+        // 137 s; so stalls ≈ 137 s minus the head start.
+        assert!(qoe[0].rebuffering_s > 100.0);
+        assert!(qoe[0].rebuffering_s < 140.0);
+    }
+
+    #[test]
+    fn shared_bottleneck_hurts_both() {
+        let sessions = vec![
+            Session {
+                links: vec![EdgeId::new(0)],
+            },
+            Session {
+                links: vec![EdgeId::new(0)],
+            },
+        ];
+        let player = PlayerConfig::default();
+        let alone = simulate_sessions(
+            &sessions[..1],
+            &caps(&[(0, 9.0)]),
+            &player,
+            &EnvironmentProfile::emulab(),
+            1.25,
+        );
+        let together = simulate_sessions(
+            &sessions,
+            &caps(&[(0, 9.0)]),
+            &player,
+            &EnvironmentProfile::emulab(),
+            1.25,
+        );
+        assert!(together[0].rebuffering_s > alone[0].rebuffering_s);
+        assert!(together[1].rebuffering_s > 0.0);
+    }
+
+    #[test]
+    fn environments_differ_only_in_overhead() {
+        let sessions = vec![Session {
+            links: vec![EdgeId::new(0)],
+        }];
+        let player = PlayerConfig::default();
+        let hw = simulate_sessions(
+            &sessions,
+            &caps(&[(0, 50.0)]),
+            &player,
+            &EnvironmentProfile::hardware_testbed(),
+            1.25,
+        );
+        let em = simulate_sessions(
+            &sessions,
+            &caps(&[(0, 50.0)]),
+            &player,
+            &EnvironmentProfile::emulab(),
+            1.25,
+        );
+        let diff = hw[0].startup_latency_s - em[0].startup_latency_s;
+        assert!((diff - 1.5).abs() < 1e-9);
+        assert_eq!(hw[0].rebuffering_s, em[0].rebuffering_s);
+    }
+}

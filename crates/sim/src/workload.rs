@@ -1,0 +1,127 @@
+//! Online-deployment workload generation (Fig. 12's request streams).
+
+use sof_core::{Request, ServiceChain};
+use sof_graph::{NodeId, Rng64};
+
+/// Generator parameters for one network (§VIII-A online setup).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadParams {
+    /// Inclusive range of candidate-source counts per request.
+    pub sources: (usize, usize),
+    /// Inclusive range of destination counts per request.
+    pub destinations: (usize, usize),
+    /// Demanded chain length (paper: 3).
+    pub chain_len: usize,
+    /// Per-request demand (Mbps; paper: 5).
+    pub demand_mbps: f64,
+}
+
+impl WorkloadParams {
+    /// The paper's SoftLayer online setup: |D| ∈ [13,17], |S| ∈ [8,12].
+    pub fn softlayer() -> WorkloadParams {
+        WorkloadParams {
+            sources: (8, 12),
+            destinations: (13, 17),
+            chain_len: 3,
+            demand_mbps: 5.0,
+        }
+    }
+
+    /// The paper's Cogent online setup: |D| ∈ [20,60], |S| ∈ [10,30].
+    pub fn cogent() -> WorkloadParams {
+        WorkloadParams {
+            sources: (10, 30),
+            destinations: (20, 60),
+            chain_len: 3,
+            demand_mbps: 5.0,
+        }
+    }
+}
+
+/// Streams random multicast requests over the access nodes `0..n`.
+#[derive(Clone, Debug)]
+pub struct RequestStream {
+    params: WorkloadParams,
+    access_nodes: usize,
+    rng: Rng64,
+}
+
+impl RequestStream {
+    /// Creates a stream over `access_nodes` access nodes.
+    pub fn new(params: WorkloadParams, access_nodes: usize, seed: u64) -> RequestStream {
+        RequestStream {
+            params,
+            access_nodes,
+            rng: Rng64::seed_from(seed),
+        }
+    }
+
+    /// Draws the next request. Destinations are drawn first; the source
+    /// count is capped by the remaining pool (on SoftLayer the paper's
+    /// ranges |S| ≤ 12, |D| ≤ 17 can exceed the 27 access nodes, so the
+    /// sets would otherwise overlap).
+    pub fn next_request(&mut self) -> Request {
+        let d = self
+            .rng
+            .range(self.params.destinations.0, self.params.destinations.1 + 1)
+            .min(self.access_nodes.saturating_sub(1));
+        let s = self
+            .rng
+            .range(self.params.sources.0, self.params.sources.1 + 1)
+            .min(self.access_nodes - d);
+        assert!(s >= 1, "no room left for sources");
+        let picks = self.rng.sample_indices(self.access_nodes, s + d);
+        Request::new(
+            picks[..s].iter().map(|&i| NodeId::new(i)).collect(),
+            picks[s..].iter().map(|&i| NodeId::new(i)).collect(),
+            ServiceChain::with_len(self.params.chain_len),
+        )
+    }
+
+    /// The configured per-request demand.
+    pub fn demand(&self) -> f64 {
+        self.params.demand_mbps
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        Some(self.next_request())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_within_ranges() {
+        let mut stream = RequestStream::new(WorkloadParams::softlayer(), 27, 1);
+        for _ in 0..50 {
+            let r = stream.next_request();
+            assert!(r.sources.len() <= 12 && r.sources.len() >= 8.min(27 - r.destinations.len()));
+            assert!((13..=17).contains(&r.destinations.len()));
+            assert_eq!(r.chain.len(), 3);
+            // Sources and destinations must be disjoint.
+            for s in &r.sources {
+                assert!(!r.destinations.contains(s));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<Request> = RequestStream::new(WorkloadParams::softlayer(), 27, 9)
+            .take(5)
+            .collect();
+        let b: Vec<Request> = RequestStream::new(WorkloadParams::softlayer(), 27, 9)
+            .take(5)
+            .collect();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.sources, y.sources);
+            assert_eq!(x.destinations, y.destinations);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Mehlhorn's 2-approximation for the Steiner tree problem.
+//!
+//! One multi-source Dijkstra computes a Voronoi partition around the
+//! terminals; candidate terminal-to-terminal connections are derived from
+//! boundary edges; an MST over those candidates is expanded back into real
+//! paths and pruned. Runs in `O(m log n)` — the workhorse used inside SOFDA
+//! on the large topologies. Approximation factor 2·(1 − 1/ℓ) ≤ 2.
+
+use crate::tree::{check_terminals, mst_and_prune, SteinerError, SteinerTree};
+use sof_graph::{Cost, EdgeId, Graph, NodeId, ShortestPaths, UnionFind};
+use std::collections::HashMap;
+
+/// Computes a Steiner tree spanning `terminals` with Mehlhorn's algorithm.
+///
+/// # Errors
+///
+/// Returns [`SteinerError::InvalidTerminal`] for out-of-range ids and
+/// [`SteinerError::Unreachable`] if the terminals span multiple components.
+///
+/// # Examples
+///
+/// ```
+/// use sof_graph::{Graph, Cost, NodeId};
+/// use sof_steiner::mehlhorn;
+///
+/// let mut g = Graph::with_nodes(4);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(1.0));
+/// g.add_edge(NodeId::new(1), NodeId::new(2), Cost::new(1.0));
+/// g.add_edge(NodeId::new(1), NodeId::new(3), Cost::new(1.0));
+/// let tree = mehlhorn(&g, &[NodeId::new(0), NodeId::new(2), NodeId::new(3)])?;
+/// assert_eq!(tree.cost, Cost::new(3.0));
+/// # Ok::<(), sof_steiner::SteinerError>(())
+/// ```
+pub fn mehlhorn(graph: &Graph, terminals: &[NodeId]) -> Result<SteinerTree, SteinerError> {
+    check_terminals(graph, terminals)?;
+    let mut distinct: Vec<NodeId> = terminals.to_vec();
+    distinct.sort();
+    distinct.dedup();
+    if distinct.len() <= 1 {
+        return Ok(SteinerTree::default());
+    }
+    let sp = ShortestPaths::from_sources(graph, distinct.iter().copied());
+    for &t in &distinct {
+        // All terminals are sources, so unreachability shows up when some
+        // terminal's component has no other terminal; checked below via MST.
+        debug_assert_eq!(sp.dist(t), Cost::ZERO);
+    }
+
+    // Candidate inter-terminal connections from Voronoi boundary edges.
+    // Key: (site_a, site_b) with site_a < site_b.
+    let mut best: HashMap<(NodeId, NodeId), (Cost, EdgeId)> = HashMap::new();
+    for (eid, edge) in graph.edges() {
+        let (Some(su), Some(sv)) = (sp.site(edge.u), sp.site(edge.v)) else {
+            continue;
+        };
+        if su == sv {
+            continue;
+        }
+        let key = if su < sv { (su, sv) } else { (sv, su) };
+        let w = sp.dist(edge.u) + edge.cost + sp.dist(edge.v);
+        match best.get(&key) {
+            Some(&(bw, _)) if bw <= w => {}
+            _ => {
+                best.insert(key, (w, eid));
+            }
+        }
+    }
+
+    // MST over the terminal graph (Kruskal on candidate entries).
+    let mut cands: Vec<(Cost, NodeId, NodeId, EdgeId)> = best
+        .into_iter()
+        .map(|((a, b), (w, e))| (w, a, b, e))
+        .collect();
+    cands.sort_by(|x, y| (x.0, x.1, x.2).cmp(&(y.0, y.1, y.2)));
+    let mut idx: HashMap<NodeId, usize> = HashMap::new();
+    for (i, &t) in distinct.iter().enumerate() {
+        idx.insert(t, i);
+    }
+    let mut uf = UnionFind::new(distinct.len());
+    let mut real_edges: Vec<EdgeId> = Vec::new();
+    let mut joined = 0usize;
+    for (_, a, b, boundary) in cands {
+        if uf.union(idx[&a], idx[&b]) {
+            joined += 1;
+            // Expand: path(site(u) -> u) + (u,v) + path(v -> site(v)).
+            let edge = graph.edge(boundary);
+            real_edges.push(boundary);
+            for end in [edge.u, edge.v] {
+                let mut cur = end;
+                while let Some((p, e)) = sp.parent(cur) {
+                    real_edges.push(e);
+                    cur = p;
+                }
+            }
+        }
+    }
+    if joined + 1 != distinct.len() {
+        // Some terminal could not be connected.
+        let root = uf.find(0);
+        let t = distinct
+            .iter()
+            .find(|t| uf.find(idx[t]) != root)
+            .copied()
+            .unwrap_or(distinct[0]);
+        return Err(SteinerError::Unreachable { terminal: t });
+    }
+    let kept = mst_and_prune(graph, real_edges, &distinct);
+    Ok(SteinerTree::from_edges(graph, kept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_with_detour() -> (Graph, Vec<NodeId>) {
+        // Terminals 0,2,4 around hub 1; expensive direct edges 0-2, 2-4.
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(1.0));
+        g.add_edge(NodeId::new(2), NodeId::new(1), Cost::new(1.0));
+        g.add_edge(NodeId::new(4), NodeId::new(1), Cost::new(1.0));
+        g.add_edge(NodeId::new(0), NodeId::new(2), Cost::new(3.5));
+        g.add_edge(NodeId::new(2), NodeId::new(4), Cost::new(3.5));
+        (g, vec![NodeId::new(0), NodeId::new(2), NodeId::new(4)])
+    }
+
+    #[test]
+    fn finds_hub_tree() {
+        let (g, ts) = star_with_detour();
+        let tree = mehlhorn(&g, &ts).unwrap();
+        tree.validate(&g, &ts).unwrap();
+        assert_eq!(tree.cost, Cost::new(3.0));
+    }
+
+    #[test]
+    fn two_terminals_is_shortest_path() {
+        let (g, _) = star_with_detour();
+        let tree = mehlhorn(&g, &[NodeId::new(0), NodeId::new(4)]).unwrap();
+        assert_eq!(tree.cost, Cost::new(2.0));
+    }
+
+    #[test]
+    fn single_terminal_empty() {
+        let (g, _) = star_with_detour();
+        let tree = mehlhorn(&g, &[NodeId::new(3)]).unwrap();
+        assert!(tree.edges.is_empty());
+    }
+
+    #[test]
+    fn unreachable_terminal_errors() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(1.0));
+        let err = mehlhorn(&g, &[NodeId::new(0), NodeId::new(2)]).unwrap_err();
+        assert!(matches!(err, SteinerError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn invalid_terminal_errors() {
+        let g = Graph::with_nodes(2);
+        let err = mehlhorn(&g, &[NodeId::new(5)]).unwrap_err();
+        assert!(matches!(err, SteinerError::InvalidTerminal { .. }));
+    }
+
+    #[test]
+    fn duplicate_terminals_ok() {
+        let (g, _) = star_with_detour();
+        let tree = mehlhorn(&g, &[NodeId::new(0), NodeId::new(0), NodeId::new(2)]).unwrap();
+        assert_eq!(tree.cost, Cost::new(2.0));
+    }
+}

@@ -1,0 +1,106 @@
+//! Takahashi–Matsuyama shortest-path Steiner heuristic.
+//!
+//! Greedily grows a tree from the first terminal, repeatedly attaching the
+//! terminal closest to the current tree via a shortest path. Also a
+//! 2-approximation; often the strongest of the three classical heuristics
+//! in practice. Its incremental structure is what the distributed
+//! implementation in `sof-sdn` mirrors (§VI of the paper).
+
+use crate::tree::{check_terminals, prune_non_terminal_leaves, SteinerError, SteinerTree};
+use sof_graph::{EdgeId, Graph, NodeId, ShortestPaths};
+use std::collections::BTreeSet;
+
+/// Computes a Steiner tree spanning `terminals` by iterative shortest-path
+/// attachment.
+///
+/// # Errors
+///
+/// Same contract as [`crate::mehlhorn`].
+///
+/// # Examples
+///
+/// ```
+/// use sof_graph::{Graph, Cost, NodeId};
+/// use sof_steiner::takahashi_matsuyama;
+///
+/// let mut g = Graph::with_nodes(4);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(1.0));
+/// g.add_edge(NodeId::new(1), NodeId::new(2), Cost::new(1.0));
+/// g.add_edge(NodeId::new(1), NodeId::new(3), Cost::new(5.0));
+/// let tree = takahashi_matsuyama(&g, &[NodeId::new(0), NodeId::new(2), NodeId::new(3)])?;
+/// assert_eq!(tree.cost, Cost::new(7.0));
+/// # Ok::<(), sof_steiner::SteinerError>(())
+/// ```
+pub fn takahashi_matsuyama(
+    graph: &Graph,
+    terminals: &[NodeId],
+) -> Result<SteinerTree, SteinerError> {
+    check_terminals(graph, terminals)?;
+    let mut remaining: BTreeSet<NodeId> = terminals.iter().copied().collect();
+    if remaining.len() <= 1 {
+        return Ok(SteinerTree::default());
+    }
+    let first = *remaining.iter().next().expect("non-empty");
+    remaining.remove(&first);
+    let mut tree_nodes: BTreeSet<NodeId> = BTreeSet::from([first]);
+    let mut edges: Vec<EdgeId> = Vec::new();
+    while !remaining.is_empty() {
+        // Multi-source Dijkstra from the whole current tree.
+        let sp = ShortestPaths::from_sources(graph, tree_nodes.iter().copied());
+        let next = remaining
+            .iter()
+            .copied()
+            .min_by_key(|&t| (sp.dist(t), t))
+            .expect("non-empty remaining");
+        if !sp.dist(next).is_finite() {
+            return Err(SteinerError::Unreachable { terminal: next });
+        }
+        let path = sp.path_to(next).expect("finite distance implies a path");
+        let path_edges = sp.edges_to(next).expect("finite distance implies a path");
+        edges.extend(path_edges);
+        tree_nodes.extend(path);
+        remaining.remove(&next);
+    }
+    let distinct: Vec<NodeId> = terminals.iter().copied().collect();
+    let kept = prune_non_terminal_leaves(graph, edges, &distinct);
+    Ok(SteinerTree::from_edges(graph, kept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sof_graph::Cost;
+
+    #[test]
+    fn grows_from_nearest_terminal() {
+        let mut g = Graph::with_nodes(6);
+        // Path 0-1-2-3-4-5, terminals {0, 3, 5}.
+        for i in 0..5 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1), Cost::new(1.0));
+        }
+        let ts = vec![NodeId::new(0), NodeId::new(3), NodeId::new(5)];
+        let tree = takahashi_matsuyama(&g, &ts).unwrap();
+        tree.validate(&g, &ts).unwrap();
+        assert_eq!(tree.cost, Cost::new(5.0));
+    }
+
+    #[test]
+    fn reuses_tree_paths() {
+        // Y shape: center 3; terminals at the three tips.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId::new(0), NodeId::new(3), Cost::new(2.0));
+        g.add_edge(NodeId::new(1), NodeId::new(3), Cost::new(2.0));
+        g.add_edge(NodeId::new(2), NodeId::new(3), Cost::new(2.0));
+        let ts = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        let tree = takahashi_matsuyama(&g, &ts).unwrap();
+        assert_eq!(tree.cost, Cost::new(6.0));
+        assert_eq!(tree.edges.len(), 3);
+    }
+
+    #[test]
+    fn unreachable_terminal() {
+        let g = Graph::with_nodes(3);
+        let err = takahashi_matsuyama(&g, &[NodeId::new(0), NodeId::new(1)]).unwrap_err();
+        assert!(matches!(err, SteinerError::Unreachable { .. }));
+    }
+}

@@ -1,0 +1,338 @@
+//! # sof-topo — evaluation topologies for the SOF reproduction
+//!
+//! The paper evaluates on two inter-datacenter networks and one synthetic
+//! topology (§VIII-A), plus a 14-node SDN testbed (Fig. 13):
+//!
+//! | name | access nodes | links | data centers |
+//! |------|--------------|-------|--------------|
+//! | IBM SoftLayer | 27 | 49 | 17 |
+//! | Cogent        | 190 | 260 | 40 |
+//! | Inet synthetic| 5000 | 10000 | 2000 |
+//! | testbed (Fig. 13) | 14 | 20 | — |
+//!
+//! The public maps referenced by the paper are not machine-readable, so the
+//! adjacency here is **synthesized deterministically with the paper's exact
+//! node/link/DC counts** (DESIGN.md §5.4): a backbone-flavoured construction
+//! for SoftLayer/testbed, power-law growth for Cogent/Inet.
+//!
+//! [`ScenarioParams`] + [`build_instance`] reproduce the experiment setup:
+//! VMs attached to random data centers, link costs drawn from utilization
+//! `U(0,1)` through the Fortz–Thorup function, VM setup costs from host
+//! utilization, uniformly random sources/destinations.
+//!
+//! # Examples
+//!
+//! ```
+//! use sof_topo::{softlayer, ScenarioParams, build_instance};
+//!
+//! let topo = softlayer();
+//! assert_eq!(topo.graph.node_count(), 27);
+//! assert_eq!(topo.graph.edge_count(), 49);
+//! assert_eq!(topo.dc_nodes.len(), 17);
+//! let inst = build_instance(&topo, &ScenarioParams::paper_defaults().with_seed(1));
+//! assert_eq!(inst.network.vms().len(), 25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sof_core::{fortz_thorup, Network, NodeKind, Request, ServiceChain, SofInstance};
+use sof_graph::{Cost, Graph, NodeId, Rng64};
+
+/// A base topology: access-level graph plus its data-center nodes.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The access-level graph (unit link costs; scenarios re-cost).
+    pub graph: Graph,
+    /// Access nodes hosting a data center (VM attachment points).
+    pub dc_nodes: Vec<NodeId>,
+}
+
+fn ring_with_chords(n: usize, chords: &[(usize, usize)]) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        g.add_edge(NodeId::new(i), NodeId::new((i + 1) % n), Cost::new(1.0));
+    }
+    for &(a, b) in chords {
+        g.add_edge(NodeId::new(a), NodeId::new(b), Cost::new(1.0));
+    }
+    g
+}
+
+/// IBM SoftLayer inter-DC network: 27 access nodes, 49 links, 17 DCs.
+///
+/// Deterministic ring-plus-chords construction matching the paper's counts.
+pub fn softlayer() -> Topology {
+    // 27 ring links + 22 chords = 49 links.
+    let chords = [
+        (0, 7),
+        (0, 13),
+        (1, 9),
+        (2, 15),
+        (3, 11),
+        (3, 20),
+        (4, 17),
+        (5, 12),
+        (5, 23),
+        (6, 19),
+        (8, 16),
+        (8, 25),
+        (9, 22),
+        (10, 18),
+        (11, 26),
+        (12, 21),
+        (14, 24),
+        (15, 23),
+        (16, 26),
+        (17, 25),
+        (2, 10),
+        (7, 20),
+    ];
+    let graph = ring_with_chords(27, &chords);
+    debug_assert_eq!(graph.edge_count(), 49);
+    let dc_nodes = (0..27)
+        .filter(|i| i % 3 != 2)
+        .take(17)
+        .map(NodeId::new)
+        .collect();
+    Topology {
+        name: "softlayer",
+        graph,
+        dc_nodes,
+    }
+}
+
+/// Cogent backbone: 190 access nodes, 260 links, 40 DCs.
+///
+/// Power-law synthesized with a fixed seed (the real map is a web page).
+pub fn cogent() -> Topology {
+    let mut rng = Rng64::seed_from(0xC0_6E07);
+    let graph = sof_graph::generators::inet_like(190, 260, sof_graph::CostRange::UNIT, &mut rng);
+    let mut dc_nodes: Vec<NodeId> = rng.sample_indices(190, 40).into_iter().map(NodeId::new).collect();
+    dc_nodes.sort();
+    Topology {
+        name: "cogent",
+        graph,
+        dc_nodes,
+    }
+}
+
+/// The paper's Inet-generated synthetic network: 5000 access nodes, 10000
+/// links, 2000 data centers.
+pub fn inet_synthetic(seed: u64) -> Topology {
+    let mut rng = Rng64::seed_from(seed ^ 0x17E7);
+    let graph = sof_graph::generators::inet_like(5000, 10000, sof_graph::CostRange::UNIT, &mut rng);
+    let mut dc_nodes: Vec<NodeId> = rng
+        .sample_indices(5000, 2000)
+        .into_iter()
+        .map(NodeId::new)
+        .collect();
+    dc_nodes.sort();
+    Topology {
+        name: "inet",
+        graph,
+        dc_nodes,
+    }
+}
+
+/// A scaled-down Inet-style topology (for Table I's |V| sweep).
+pub fn inet_sized(nodes: usize, links: usize, dcs: usize, seed: u64) -> Topology {
+    let mut rng = Rng64::seed_from(seed.wrapping_mul(0x9E3779B97F4A7C15));
+    let graph = sof_graph::generators::inet_like(nodes, links, sof_graph::CostRange::UNIT, &mut rng);
+    let mut dc_nodes: Vec<NodeId> = rng
+        .sample_indices(nodes, dcs)
+        .into_iter()
+        .map(NodeId::new)
+        .collect();
+    dc_nodes.sort();
+    Topology {
+        name: "inet-sized",
+        graph,
+        dc_nodes,
+    }
+}
+
+/// The experimental SDN of Fig. 13: 14 nodes, 20 links.
+pub fn testbed() -> Topology {
+    // 14 ring links + 6 chords = 20.
+    let chords = [(0, 5), (1, 8), (2, 11), (4, 10), (6, 13), (3, 9)];
+    let graph = ring_with_chords(14, &chords);
+    debug_assert_eq!(graph.edge_count(), 20);
+    Topology {
+        name: "testbed",
+        graph,
+        dc_nodes: (0..14).map(NodeId::new).collect(),
+    }
+}
+
+/// Parameters of one evaluation scenario (Figs. 8–11 defaults: §VIII-A).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioParams {
+    /// Total VMs attached to data centers.
+    pub vm_count: usize,
+    /// Candidate sources |S|.
+    pub sources: usize,
+    /// Destinations |D|.
+    pub destinations: usize,
+    /// Chain length |C|.
+    pub chain_len: usize,
+    /// Multiplier on VM setup costs (Fig. 11's 1x…9x sweep).
+    pub setup_scale: f64,
+    /// RNG seed (controls placement, costs, endpoints).
+    pub seed: u64,
+}
+
+impl ScenarioParams {
+    /// The paper's defaults: 14 sources, 6 destinations, 25 VMs, |C| = 3.
+    pub fn paper_defaults() -> ScenarioParams {
+        ScenarioParams {
+            vm_count: 25,
+            sources: 14,
+            destinations: 6,
+            chain_len: 3,
+            setup_scale: 1.0,
+            seed: 0x50F,
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> ScenarioParams {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Builds a full SOF instance on a topology per the paper's setup:
+///
+/// * every access link gets cost `fortz_thorup(u, 1)` for utilization
+///   `u ~ U(0,1)` (the "link usage randomly chosen in (0,1)" rule),
+/// * `vm_count` VMs are attached to uniformly chosen DCs by zero-cost stub
+///   links, with setup cost `fortz_thorup(h, 1) · setup_scale` for host
+///   utilization `h ~ U(0,1)` (the [48]-based VM cost),
+/// * sources and destinations are distinct uniform access nodes.
+///
+/// # Panics
+///
+/// Panics if the topology has fewer access nodes than
+/// `sources + destinations`.
+pub fn build_instance(topo: &Topology, p: &ScenarioParams) -> SofInstance {
+    let mut rng = Rng64::seed_from(p.seed);
+    let base_n = topo.graph.node_count();
+    let mut graph = topo.graph.clone();
+    // Link costs from utilization.
+    let edge_ids: Vec<_> = graph.edges().map(|(e, _)| e).collect();
+    for e in edge_ids {
+        let u = rng.next_f64().max(1e-6);
+        graph.set_edge_cost(e, fortz_thorup(u, 1.0));
+    }
+    let mut net = Network::all_switches(graph);
+    // Attach VMs to DCs.
+    for _ in 0..p.vm_count {
+        let dc = *rng.pick(&topo.dc_nodes);
+        let h = rng.next_f64().max(1e-6);
+        let vm = net.add_node(NodeKind::Vm, fortz_thorup(h, 1.0) * p.setup_scale);
+        net.graph_mut().add_edge(vm, dc, Cost::ZERO);
+    }
+    // Endpoints: disjoint when the pool allows it (the paper's sweeps go up
+    // to |S|=26 on the 27-node SoftLayer, where overlap with D is
+    // unavoidable — sources and destinations are then drawn independently).
+    let (sources, destinations): (Vec<NodeId>, Vec<NodeId>) =
+        if base_n >= p.sources + p.destinations {
+            let picks = rng.sample_indices(base_n, p.sources + p.destinations);
+            (
+                picks[..p.sources].iter().map(|&i| NodeId::new(i)).collect(),
+                picks[p.sources..].iter().map(|&i| NodeId::new(i)).collect(),
+            )
+        } else {
+            let d = rng.sample_indices(base_n, p.destinations.min(base_n));
+            let s = rng.sample_indices(base_n, p.sources.min(base_n));
+            (
+                s.into_iter().map(NodeId::new).collect(),
+                d.into_iter().map(NodeId::new).collect(),
+            )
+        };
+    SofInstance::new(
+        net,
+        Request::new(sources, destinations, ServiceChain::with_len(p.chain_len)),
+    )
+    .expect("constructed instance is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_paper() {
+        let s = softlayer();
+        assert_eq!(
+            (s.graph.node_count(), s.graph.edge_count(), s.dc_nodes.len()),
+            (27, 49, 17)
+        );
+        assert!(s.graph.is_connected());
+        let c = cogent();
+        assert_eq!(
+            (c.graph.node_count(), c.graph.edge_count(), c.dc_nodes.len()),
+            (190, 260, 40)
+        );
+        assert!(c.graph.is_connected());
+        let t = testbed();
+        assert_eq!((t.graph.node_count(), t.graph.edge_count()), (14, 20));
+        assert!(t.graph.is_connected());
+    }
+
+    #[test]
+    #[ignore = "builds the full 5000-node topology; run with --ignored"]
+    fn inet_counts() {
+        let i = inet_synthetic(1);
+        assert_eq!(i.graph.node_count(), 5000);
+        assert_eq!(i.graph.edge_count(), 10000);
+        assert_eq!(i.dc_nodes.len(), 2000);
+        assert!(i.graph.is_connected());
+    }
+
+    #[test]
+    fn instances_are_deterministic_per_seed() {
+        let topo = softlayer();
+        let p = ScenarioParams::paper_defaults().with_seed(7);
+        let a = build_instance(&topo, &p);
+        let b = build_instance(&topo, &p);
+        assert_eq!(a.request.sources, b.request.sources);
+        assert_eq!(a.network.vms(), b.network.vms());
+        assert_eq!(
+            a.network.graph().total_edge_cost(),
+            b.network.graph().total_edge_cost()
+        );
+    }
+
+    #[test]
+    fn instance_solvable_end_to_end() {
+        let topo = softlayer();
+        let mut p = ScenarioParams::paper_defaults().with_seed(3);
+        p.destinations = 4;
+        p.sources = 5;
+        let inst = build_instance(&topo, &p);
+        let out = sof_core::solve_sofda(&inst, &sof_core::SofdaConfig::default()).unwrap();
+        out.forest.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn setup_scale_raises_vm_costs() {
+        let topo = softlayer();
+        let p1 = ScenarioParams::paper_defaults().with_seed(9);
+        let mut p9 = p1;
+        p9.setup_scale = 9.0;
+        let a = build_instance(&topo, &p1);
+        let b = build_instance(&topo, &p9);
+        let sum = |inst: &SofInstance| -> f64 {
+            inst.network
+                .vms()
+                .iter()
+                .map(|&v| inst.network.node_cost(v).value())
+                .sum()
+        };
+        assert!((sum(&b) / sum(&a) - 9.0).abs() < 1e-6);
+    }
+}

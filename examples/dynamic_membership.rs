@@ -1,0 +1,68 @@
+//! Dynamic group membership (§VII-C): viewers join and leave, VNFs are
+//! inserted and removed, all without re-running SOFDA from scratch.
+//!
+//! Run with `cargo run --release --example dynamic_membership`.
+
+use sof::core::dynamics;
+use sof::core::SofdaConfig;
+use sof::topo::{build_instance, softlayer, ScenarioParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = softlayer();
+    let mut p = ScenarioParams::paper_defaults().with_seed(3);
+    p.destinations = 4;
+    let mut inst = build_instance(&topo, &p);
+    let out = sof::core::solve_sofda(&inst, &SofdaConfig::default())?;
+    let mut forest = out.forest;
+    let report = |label: &str, inst: &sof::core::SofInstance, f: &sof::core::ServiceForest| {
+        println!(
+            "{label:<28} cost {:>8.2}  dests {}  VMs {}",
+            f.cost(&inst.network).total().value(),
+            f.stats().destinations,
+            f.stats().used_vms
+        );
+    };
+    report("initial SOFDA forest", &inst, &forest);
+
+    // A new viewer joins.
+    let newcomer = inst
+        .network
+        .graph()
+        .nodes()
+        .find(|n| {
+            n.index() < 27
+                && !inst.request.destinations.contains(n)
+                && !inst.request.sources.contains(n)
+        })
+        .expect("free access node");
+    dynamics::destination_join(&mut inst, &mut forest, newcomer)?;
+    forest.validate(&inst)?;
+    report("after join", &inst, &forest);
+
+    // One viewer leaves.
+    let leaver = inst.request.destinations[0];
+    dynamics::destination_leave(&mut inst, &mut forest, leaver)?;
+    forest.validate(&inst)?;
+    report("after leave", &inst, &forest);
+
+    // The operator inserts a firewall after f1...
+    dynamics::vnf_insert(&mut inst, &mut forest, 1, "firewall")?;
+    forest.validate(&inst)?;
+    report("after VNF insert", &inst, &forest);
+
+    // ...and later drops the original f2.
+    dynamics::vnf_delete(&mut inst, &mut forest, 2)?;
+    forest.validate(&inst)?;
+    report("after VNF delete", &inst, &forest);
+
+    // Congestion: all link costs spike; reroute the forest.
+    let ids: Vec<_> = inst.network.graph().edges().map(|(e, _)| e).collect();
+    for e in ids {
+        let c = inst.network.graph().edge_cost(e);
+        inst.network.graph_mut().set_edge_cost(e, c * 3.0);
+    }
+    dynamics::reroute_all(&inst, &mut forest);
+    forest.validate(&inst)?;
+    report("after congestion reroute", &inst, &forest);
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Online deployment (Fig. 12): requests arrive one by one; link and VM
+//! costs follow the convex Fortz–Thorup model so congested resources get
+//! expensive and SOFDA routes around them.
+//!
+//! Run with `cargo run --release --example online_deployment`.
+
+use sof::core::{LoadTracker, SofdaConfig};
+use sof::sim::{RequestStream, WorkloadParams};
+use sof::topo::{build_instance, softlayer, ScenarioParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = softlayer();
+    let mut p = ScenarioParams::paper_defaults().with_seed(7);
+    p.vm_count = topo.dc_nodes.len() * 5; // 5 VMs per data center
+    let mut inst = build_instance(&topo, &p);
+    let mut tracker = LoadTracker::new(&inst.network, 100.0, 5.0);
+    let mut stream = RequestStream::new(WorkloadParams::softlayer(), 27, 7);
+    let mut accumulated = 0.0;
+    println!("arrival  request(|S|,|D|)  cost      accumulated");
+    for arrival in 1..=20 {
+        let request = stream.next_request();
+        let dims = (request.sources.len(), request.destinations.len());
+        inst.request = request;
+        tracker.refresh_costs(&mut inst.network);
+        let out = sof::core::solve_sofda(&inst, &SofdaConfig::default())?;
+        out.forest.validate(&inst)?;
+        tracker.apply_forest(&inst.network, &out.forest, stream.demand());
+        accumulated += out.cost.total().value();
+        println!(
+            "{arrival:>7}  ({:>2},{:>2})            {:>8.1}  {accumulated:>10.1}",
+            dims.0,
+            dims.1,
+            out.cost.total().value()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build a small cloud network, embed a service forest with
+//! SOFDA, and compare against the baselines and the exact optimum.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use sof::core::{solve_sofda, Network, NodeKind, Request, ServiceChain, SofInstance, SofdaConfig};
+use sof::graph::{Cost, Graph, NodeId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-switch ring with two cross links.
+    let mut g = Graph::with_nodes(8);
+    for i in 0..8 {
+        g.add_edge(NodeId::new(i), NodeId::new((i + 1) % 8), Cost::new(1.0));
+    }
+    g.add_edge(NodeId::new(0), NodeId::new(4), Cost::new(1.5));
+    g.add_edge(NodeId::new(2), NodeId::new(6), Cost::new(1.5));
+    let mut net = Network::all_switches(g);
+    // Four VMs with assorted setup costs.
+    for (v, c) in [(1usize, 0.8), (3, 1.2), (5, 0.6), (7, 1.0)] {
+        net.make_vm(NodeId::new(v), Cost::new(c));
+    }
+    // A VM attached off-ring (e.g., in a data center).
+    let dc_vm = net.add_node(NodeKind::Vm, Cost::new(0.3));
+    net.graph_mut().add_edge(dc_vm, NodeId::new(4), Cost::new(0.2));
+
+    let inst = SofInstance::new(
+        net,
+        Request::new(
+            vec![NodeId::new(0), NodeId::new(4)],          // candidate sources
+            vec![NodeId::new(2), NodeId::new(6)],          // destinations
+            ServiceChain::from_names(["transcoder", "watermark"]),
+        ),
+    )?;
+
+    let out = solve_sofda(&inst, &SofdaConfig::default())?;
+    out.forest.validate(&inst)?;
+    println!("SOFDA forest cost: {}", out.cost);
+    println!("  trees: {}", out.forest.stats().trees);
+    println!("  VMs  : {}", out.forest.stats().used_vms);
+    for w in &out.forest.walks {
+        let hops: Vec<String> = w.nodes.iter().map(|n| n.to_string()).collect();
+        println!("  {} ⇐ {}  via {}", w.destination, w.source, hops.join("→"));
+    }
+
+    // Baselines on the same instance.
+    for (name, r) in [
+        ("ST   ", sof::baselines::solve_st(&inst, &SofdaConfig::default())?),
+        ("eST  ", sof::baselines::solve_est(&inst, &SofdaConfig::default())?),
+        ("eNEMP", sof::baselines::solve_enemp(&inst, &SofdaConfig::default())?),
+    ] {
+        println!("{name} cost: {}", r.cost);
+    }
+
+    // Exact optimum (small instance → instant).
+    let exact = sof::exact::solve_exact(&inst, 300)?;
+    println!("OPT   cost: {} (optimal: {})", exact.cost, exact.optimal);
+    assert!(out.cost.total() >= exact.cost);
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! The paper's headline scenario (§VIII-D): YouTube-style live streams with
+//! a transcoder→watermark chain on the Fig. 13 testbed, comparing video QoE
+//! across embeddings — the Table II experiment as a library example.
+//!
+//! Run with `cargo run --release --example youtube_cdn`.
+
+use sof::core::{NodeKind, Request, ServiceChain, SofdaConfig};
+use sof::graph::{Cost, NodeId, Rng64};
+use sof::sim::{simulate_sessions, EnvironmentProfile, PlayerConfig, Session};
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = sof::topo::testbed();
+    let mut rng = Rng64::seed_from(2026);
+    let mut net = sof::core::Network::all_switches(topo.graph.clone());
+    // Every node hosts one candidate VM (§VIII-D: "each node can support
+    // one VNF").
+    for v in 0..14 {
+        let vm = net.add_node(NodeKind::Vm, Cost::new(1.0));
+        net.graph_mut().add_edge(vm, NodeId::new(v), Cost::ZERO);
+    }
+    let picks = rng.sample_indices(14, 6);
+    let inst = sof::core::SofInstance::new(
+        net,
+        Request::new(
+            vec![NodeId::new(picks[0]), NodeId::new(picks[1])],
+            picks[2..6].iter().map(|&i| NodeId::new(i)).collect(),
+            ServiceChain::from_names(["transcoder", "watermark"]),
+        ),
+    )?;
+
+    // Available bandwidth 4.5–9 Mbps per physical link.
+    let mut caps: HashMap<sof::graph::EdgeId, f64> = HashMap::new();
+    for (e, edge) in inst.network.graph().edges() {
+        let stub = edge.u.index() >= 14 || edge.v.index() >= 14;
+        caps.insert(e, if stub { 1000.0 } else { rng.range_f64(4.5, 9.0) });
+    }
+    let player = PlayerConfig::default(); // 137 s @ 8 Mbps
+
+    for (name, out) in [
+        ("SOFDA", sof::core::solve_sofda(&inst, &SofdaConfig::default())?),
+        ("eNEMP", sof::baselines::solve_enemp(&inst, &SofdaConfig::default())?),
+        ("eST", sof::baselines::solve_est(&inst, &SofdaConfig::default())?),
+    ] {
+        // Multicast: one session per service tree (one stream copy per link).
+        let mut by_tree: std::collections::BTreeMap<sof::graph::NodeId, std::collections::BTreeSet<sof::graph::EdgeId>> = Default::default();
+        for w in &out.forest.walks {
+            let entry = by_tree.entry(w.source).or_default();
+            for p in w.nodes.windows(2) {
+                if let Some(e) = inst.network.graph().edge_between(p[0], p[1]) {
+                    entry.insert(e);
+                }
+            }
+        }
+        let sessions: Vec<Session> = by_tree
+            .values()
+            .map(|links| Session { links: links.iter().copied().collect() })
+            .collect();
+        let qoe = simulate_sessions(&sessions, &caps, &player, &EnvironmentProfile::hardware_testbed(), 1.25);
+        let startup: f64 =
+            qoe.iter().map(|q| q.startup_latency_s).sum::<f64>() / qoe.len() as f64;
+        let rebuf: f64 = qoe.iter().map(|q| q.rebuffering_s).sum::<f64>() / qoe.len() as f64;
+        println!("{name:<6} cost {:>8.2}   startup {startup:>5.1} s   rebuffering {rebuf:>6.1} s", out.cost.total().value());
+    }
+    Ok(())
+}

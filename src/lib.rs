@@ -1,0 +1,44 @@
+//! # sof — Service Overlay Forest embedding for software-defined cloud networks
+//!
+//! A full reproduction of *"Service Overlay Forest Embedding for
+//! Software-Defined Cloud Networks"* (ICDCS 2017) as a Rust workspace. This
+//! facade crate re-exports the member crates:
+//!
+//! * [`graph`] — weighted-graph substrate (Dijkstra, MST, metric closure,
+//!   deterministic topology generators, seedable RNG),
+//! * [`steiner`] — Steiner tree portfolio (Mehlhorn/KMB/Takahashi 2-approx,
+//!   exact Dreyfus–Wagner),
+//! * [`kstroll`] — k-stroll solvers (exact, color coding, greedy),
+//! * [`core`] — the SOF problem model, SOFDA / SOFDA-SS approximation
+//!   algorithms, VNF conflict resolution, cost model, dynamic operations,
+//! * [`baselines`] — the paper's comparison algorithms (ST, eST, eNEMP),
+//! * [`exact`] — the optimal "CPLEX-column" solver and the IP formulation,
+//! * [`topo`] — SoftLayer / Cogent / Inet / testbed topologies,
+//! * [`sim`] — flow-level DES with max-min fairness and video QoE,
+//! * [`sdn`] — flow-rule compilation and distributed multi-controller SOFDA.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sof::core::{solve_sofda, SofdaConfig};
+//! use sof::topo::{build_instance, softlayer, ScenarioParams};
+//!
+//! let inst = build_instance(&softlayer(), &ScenarioParams::paper_defaults());
+//! let out = solve_sofda(&inst, &SofdaConfig::default())?;
+//! out.forest.validate(&inst)?;
+//! println!("forest cost {}", out.cost);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sof_baselines as baselines;
+pub use sof_core as core;
+pub use sof_exact as exact;
+pub use sof_graph as graph;
+pub use sof_kstroll as kstroll;
+pub use sof_sdn as sdn;
+pub use sof_sim as sim;
+pub use sof_steiner as steiner;
+pub use sof_topo as topo;

@@ -1,0 +1,150 @@
+//! Failure-injection tests: every solver must degrade with a clean error —
+//! never a panic, never an invalid forest — under hostile inputs.
+
+use sof::core::{
+    solve_sofda, solve_sofda_ss, Network, Request, ServiceChain, SofInstance, SofdaConfig,
+    SolveError,
+};
+use sof::graph::{Cost, Graph, NodeId};
+
+fn line(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n - 1 {
+        g.add_edge(NodeId::new(i), NodeId::new(i + 1), Cost::new(1.0));
+    }
+    g
+}
+
+#[test]
+fn vm_shortage_is_infeasible_not_a_panic() {
+    let mut net = Network::all_switches(line(5));
+    net.make_vm(NodeId::new(2), Cost::new(1.0));
+    let inst = SofInstance::new(
+        net,
+        Request::new(
+            vec![NodeId::new(0)],
+            vec![NodeId::new(4)],
+            ServiceChain::with_len(3), // needs 3 VMs, has 1
+        ),
+    )
+    .unwrap();
+    for err in [
+        solve_sofda(&inst, &SofdaConfig::default()).unwrap_err(),
+        solve_sofda_ss(&inst, &SofdaConfig::default()).unwrap_err(),
+        sof::baselines::solve_st(&inst, &SofdaConfig::default()).unwrap_err(),
+        sof::baselines::solve_est(&inst, &SofdaConfig::default()).unwrap_err(),
+        sof::baselines::solve_enemp(&inst, &SofdaConfig::default()).unwrap_err(),
+    ] {
+        assert!(matches!(err, SolveError::Infeasible(_)), "{err}");
+    }
+    assert_eq!(
+        sof::exact::solve_exact(&inst, 50).unwrap_err(),
+        sof::exact::ExactError::Infeasible
+    );
+}
+
+#[test]
+fn disconnected_network_rejected_at_instance_construction() {
+    let mut g = line(3);
+    g.add_node(); // isolated
+    let err = SofInstance::new(
+        Network::all_switches(g),
+        Request::new(vec![NodeId::new(0)], vec![NodeId::new(2)], ServiceChain::default()),
+    )
+    .unwrap_err();
+    assert_eq!(err, sof::core::InstanceError::Disconnected);
+}
+
+#[test]
+fn out_of_range_endpoints_rejected() {
+    let err = SofInstance::new(
+        Network::all_switches(line(3)),
+        Request::new(vec![NodeId::new(7)], vec![NodeId::new(2)], ServiceChain::default()),
+    )
+    .unwrap_err();
+    assert_eq!(err, sof::core::InstanceError::NodeOutOfRange(NodeId::new(7)));
+}
+
+#[test]
+fn destination_equals_source_is_served() {
+    // Degenerate but legal: a destination that is also a candidate source.
+    let mut net = Network::all_switches(line(4));
+    net.make_vm(NodeId::new(1), Cost::new(1.0));
+    net.make_vm(NodeId::new(2), Cost::new(1.0));
+    let inst = SofInstance::new(
+        net,
+        Request::new(
+            vec![NodeId::new(0), NodeId::new(3)],
+            vec![NodeId::new(3)],
+            ServiceChain::with_len(1),
+        ),
+    )
+    .unwrap();
+    let out = solve_sofda(&inst, &SofdaConfig::default()).unwrap();
+    out.forest.validate(&inst).unwrap();
+}
+
+#[test]
+fn single_node_chain_on_two_node_network() {
+    let mut g = Graph::with_nodes(2);
+    g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(2.0));
+    let mut net = Network::all_switches(g);
+    net.make_vm(NodeId::new(1), Cost::new(3.0));
+    let inst = SofInstance::new(
+        net,
+        Request::new(vec![NodeId::new(0)], vec![NodeId::new(1)], ServiceChain::with_len(1)),
+    )
+    .unwrap();
+    let out = solve_sofda(&inst, &SofdaConfig::default()).unwrap();
+    out.forest.validate(&inst).unwrap();
+    // Walk 0→1 with f1 at the destination itself: cost 2 + 3.
+    assert_eq!(out.cost.total(), Cost::new(5.0));
+}
+
+#[test]
+fn dynamics_reject_double_leave_and_foreign_nodes() {
+    let mut net = Network::all_switches(line(6));
+    net.make_vm(NodeId::new(2), Cost::new(1.0));
+    let mut inst = SofInstance::new(
+        net,
+        Request::new(vec![NodeId::new(0)], vec![NodeId::new(5)], ServiceChain::with_len(1)),
+    )
+    .unwrap();
+    let out = solve_sofda(&inst, &SofdaConfig::default()).unwrap();
+    let mut forest = out.forest;
+    sof::core::dynamics::destination_leave(&mut inst, &mut forest, NodeId::new(5)).unwrap();
+    assert!(sof::core::dynamics::destination_leave(&mut inst, &mut forest, NodeId::new(5)).is_err());
+    assert!(
+        sof::core::dynamics::destination_join(&mut inst, &mut forest, NodeId::new(99)).is_err()
+    );
+}
+
+#[test]
+fn conflict_heavy_instance_stays_consistent() {
+    // Tiny VM pool shared by many chains forces Procedure-4 resolution;
+    // the result must still be conflict-free and validator-approved.
+    let mut g = Graph::with_nodes(10);
+    for i in 0..10 {
+        g.add_edge(NodeId::new(i), NodeId::new((i + 1) % 10), Cost::new(1.0));
+    }
+    g.add_edge(NodeId::new(0), NodeId::new(5), Cost::new(1.0));
+    let mut net = Network::all_switches(g);
+    net.make_vm(NodeId::new(2), Cost::new(1.0));
+    net.make_vm(NodeId::new(7), Cost::new(1.0));
+    net.make_vm(NodeId::new(4), Cost::new(1.0));
+    let inst = SofInstance::new(
+        net,
+        Request::new(
+            vec![NodeId::new(0), NodeId::new(5), NodeId::new(8)],
+            vec![NodeId::new(1), NodeId::new(3), NodeId::new(6), NodeId::new(9)],
+            ServiceChain::with_len(2),
+        ),
+    )
+    .unwrap();
+    for seed in 0..20 {
+        let out = solve_sofda(&inst, &SofdaConfig::default().with_seed(seed)).unwrap();
+        out.forest.validate(&inst).unwrap();
+        assert!(out.forest.enabled_vms().is_ok());
+        assert_eq!(out.stats.conflicts.fallbacks, 0, "fallback fired on seed {seed}");
+    }
+}

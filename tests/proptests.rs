@@ -1,0 +1,113 @@
+//! Property-based tests over randomized instances (proptest).
+
+use proptest::prelude::*;
+use sof::core::{solve_sofda, Network, Request, ServiceChain, SofInstance, SofdaConfig};
+use sof::graph::{generators, Cost, CostRange, NodeId, Rng64};
+use sof::kstroll::{exact_stroll, greedy_stroll, DenseMetric};
+
+fn random_instance(seed: u64, n: usize, vms: usize, srcs: usize, dsts: usize, chain: usize) -> SofInstance {
+    let mut rng = Rng64::seed_from(seed);
+    let g = generators::gnp_connected(n, 0.2, CostRange::new(1.0, 9.0), &mut rng);
+    let mut net = Network::all_switches(g);
+    let picks = rng.sample_indices(n, vms + srcs + dsts);
+    for &v in &picks[..vms] {
+        net.make_vm(NodeId::new(v), Cost::new(rng.range_f64(0.2, 4.0)));
+    }
+    SofInstance::new(
+        net,
+        Request::new(
+            picks[vms..vms + srcs].iter().map(|&i| NodeId::new(i)).collect(),
+            picks[vms + srcs..].iter().map(|&i| NodeId::new(i)).collect(),
+            ServiceChain::with_len(chain),
+        ),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every SOFDA output on a random instance is validator-feasible and its
+    /// stored cost is consistent with recomputation.
+    #[test]
+    fn sofda_always_feasible(seed in 0u64..5000, chain in 0usize..4, dsts in 1usize..5) {
+        let inst = random_instance(seed, 20, 6, 2, dsts, chain);
+        let out = solve_sofda(&inst, &SofdaConfig::default().with_seed(seed)).unwrap();
+        out.forest.validate(&inst).unwrap();
+        let recomputed = out.forest.cost(&inst.network);
+        prop_assert!(recomputed.total().approx_eq(out.cost.total()));
+        // Conflict-free by construction.
+        prop_assert!(out.forest.enabled_vms().is_ok());
+    }
+
+    /// The Procedure-1 metric always satisfies the triangle inequality
+    /// (Lemma 1), for arbitrary node potentials.
+    #[test]
+    fn chain_metric_is_metric(seed in 0u64..5000) {
+        let inst = random_instance(seed, 16, 6, 1, 1, 2);
+        let cm = sof::core::ChainMetric::build(
+            &inst.network,
+            inst.request.sources[0],
+            &inst.network.vms(),
+            Cost::ZERO,
+        )
+        .unwrap();
+        prop_assert!(cm.metric().respects_triangle_inequality(1e-6));
+    }
+
+    /// Greedy k-stroll never beats exact, and both validate.
+    #[test]
+    fn kstroll_orders(seed in 0u64..5000, k in 2usize..6) {
+        let mut rng = Rng64::seed_from(seed);
+        let pts: Vec<(f64, f64)> = (0..10).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+        let m = DenseMetric::symmetric_from_fn(10, |i, j| {
+            let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+            Cost::new((dx * dx + dy * dy).sqrt())
+        });
+        let e = exact_stroll(&m, 0, 9, k).unwrap();
+        let g = greedy_stroll(&m, 0, 9, k).unwrap();
+        e.validate(&m, 0, 9, k).unwrap();
+        g.validate(&m, 0, 9, k).unwrap();
+        prop_assert!(g.cost >= e.cost - Cost::new(1e-9));
+    }
+
+    /// Steiner solvers always produce spanning trees within 2× of exact.
+    #[test]
+    fn steiner_two_approx(seed in 0u64..5000, k in 2usize..6) {
+        let mut rng = Rng64::seed_from(seed);
+        let g = generators::gnp_connected(14, 0.3, CostRange::new(1.0, 9.0), &mut rng);
+        let ts: Vec<NodeId> = rng.sample_indices(14, k).into_iter().map(NodeId::new).collect();
+        let exact = sof::steiner::dreyfus_wagner(&g, &ts).unwrap();
+        for solver in [sof::steiner::SteinerSolver::Mehlhorn, sof::steiner::SteinerSolver::Kmb] {
+            let t = solver.solve(&g, &ts).unwrap();
+            t.validate(&g, &ts).unwrap();
+            prop_assert!(t.cost <= exact.cost * 2.0 + Cost::new(1e-9));
+        }
+    }
+
+    /// Dynamic leave never increases cost; join keeps feasibility.
+    #[test]
+    fn dynamics_preserve_feasibility(seed in 0u64..2000) {
+        let mut inst = random_instance(seed, 20, 6, 2, 3, 2);
+        let out = solve_sofda(&inst, &SofdaConfig::default()).unwrap();
+        let mut forest = out.forest;
+        let before = forest.cost(&inst.network).total();
+        let d = inst.request.destinations[0];
+        sof::core::dynamics::destination_leave(&mut inst, &mut forest, d).unwrap();
+        forest.validate(&inst).unwrap();
+        prop_assert!(forest.cost(&inst.network).total() <= before + Cost::new(1e-9));
+        // Rejoin.
+        sof::core::dynamics::destination_join(&mut inst, &mut forest, d).unwrap();
+        forest.validate(&inst).unwrap();
+    }
+
+    /// The exact solver's relaxation really is a lower bound.
+    #[test]
+    fn exact_bound_sandwich(seed in 0u64..800) {
+        let inst = random_instance(seed, 14, 5, 2, 2, 2);
+        let exact = sof::exact::solve_exact(&inst, 200).unwrap();
+        prop_assert!(exact.lower_bound <= exact.cost + Cost::new(1e-9));
+        let sofda = solve_sofda(&inst, &SofdaConfig::default()).unwrap();
+        prop_assert!(sofda.cost.total() >= exact.cost - Cost::new(1e-9));
+    }
+}
