@@ -4,6 +4,10 @@ use sof_core::{ChainMetric, DestWalk, ServiceForest, SofInstance, SofdaConfig, S
 use sof_graph::{Cost, NodeId, Rng64, ShortestPaths};
 use sof_steiner::SteinerTree;
 
+/// A grown forest: total priced cost, the kept candidate trees, and the
+/// destination buckets assigned to each tree.
+pub(crate) type GrownForest = (Cost, Vec<CandidateTree>, Vec<Vec<NodeId>>);
+
 /// A service tree candidate: a chain from a source plus a distribution tree
 /// hanging off the chain's attachment node.
 #[derive(Clone, Debug)]
@@ -174,7 +178,7 @@ pub(crate) fn grow_forest<F>(
     mut trees: Vec<CandidateTree>,
     config: &SofdaConfig,
     mut propose: F,
-) -> Result<(Cost, Vec<CandidateTree>, Vec<Vec<NodeId>>), SolveError>
+) -> Result<GrownForest, SolveError>
 where
     F: FnMut(&SofInstance, NodeId, &[NodeId], &mut Rng64) -> Option<CandidateTree>,
 {
@@ -203,9 +207,7 @@ where
             let mut tentative = trees.clone();
             tentative.push(cand.clone());
             let (cost, buckets) = assign_and_price(instance, &tentative, config)?;
-            if cost < best_cost
-                && best_addition.as_ref().is_none_or(|(c, _, _)| cost < *c)
-            {
+            if cost < best_cost && best_addition.as_ref().is_none_or(|(c, _, _)| cost < *c) {
                 best_addition = Some((cost, cand, buckets));
             }
         }

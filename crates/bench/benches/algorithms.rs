@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks over the SOF algorithm stack.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sof_core::{SofdaConfig, SofInstance};
+use sof_core::{SofInstance, SofdaConfig};
 use sof_graph::{NodeId, ShortestPaths};
 use sof_kstroll::{DenseMetric, StrollSolver};
 use sof_steiner::SteinerSolver;
@@ -36,7 +36,11 @@ fn bench_steiner(c: &mut Criterion) {
         ("takahashi", SteinerSolver::TakahashiMatsuyama),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| solver.solve(black_box(&topo.graph), black_box(&terminals)).unwrap())
+            b.iter(|| {
+                solver
+                    .solve(black_box(&topo.graph), black_box(&terminals))
+                    .unwrap()
+            })
         });
     }
     g.finish();

@@ -5,16 +5,11 @@ use sof_topo::{build_instance, inet_synthetic, ScenarioParams};
 
 fn main() {
     let args = Args::capture();
-    let seeds: u64 = args.get("seeds", 2);
+    let seeds: u64 = args.seeds(2);
     let base: u64 = args.get("seed", 3000);
     println!("# Fig. 10 — Inet synthetic network (seeds = {seeds})");
     let topo = inet_synthetic(base);
-    let sweeps: Vec<(&str, Vec<usize>, Box<dyn Fn(&mut ScenarioParams, usize)>)> = vec![
-        ("#sources", vec![2, 8, 14, 20, 26], Box::new(|p: &mut ScenarioParams, v| p.sources = v)),
-        ("#destinations", vec![2, 4, 6, 8, 10], Box::new(|p, v| p.destinations = v)),
-        ("#VMs", vec![5, 15, 25, 35, 45], Box::new(|p, v| p.vm_count = v)),
-        ("chain length", vec![3, 4, 5, 6, 7], Box::new(|p, v| p.chain_len = v)),
-    ];
+    let sweeps = sof_bench::standard_sweeps();
     for (name, values, apply) in sweeps {
         println!("\n## Fig. 10 — cost vs {name} (Inet)\n");
         let algos = Algo::comparison_set(false);

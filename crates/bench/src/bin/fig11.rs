@@ -5,7 +5,7 @@ use sof_topo::{build_instance, softlayer, ScenarioParams};
 
 fn main() {
     let args = Args::capture();
-    let seeds: u64 = args.get("seeds", 5);
+    let seeds: u64 = args.seeds(5);
     let base: u64 = args.get("seed", 4000);
     let topo = softlayer();
     println!("# Fig. 11 — setup-cost multiple × chain length (SOFDA, SoftLayer, seeds = {seeds})");
@@ -24,8 +24,8 @@ fn main() {
                     p.setup_scale = mult;
                     build_instance(&topo, &p)
                 };
-                let (c, vms, _) =
-                    average(Algo::Sofda, seeds, base, &SofdaConfig::default(), make).expect("feasible");
+                let (c, vms, _) = average(Algo::Sofda, seeds, base, &SofdaConfig::default(), make)
+                    .expect("feasible");
                 cells.push(if metric == "cost" {
                     format!("{c:.1}")
                 } else {

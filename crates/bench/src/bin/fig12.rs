@@ -51,6 +51,11 @@ fn main() {
     let softlayer_reqs: usize = args.get("requests-softlayer", 30);
     let cogent_reqs: usize = args.get("requests-cogent", 45);
     println!("# Fig. 12 — online deployment (accumulative cost)");
-    online(&softlayer(), WorkloadParams::softlayer(), softlayer_reqs, seed);
+    online(
+        &softlayer(),
+        WorkloadParams::softlayer(),
+        softlayer_reqs,
+        seed,
+    );
     online(&cogent(), WorkloadParams::cogent(), cogent_reqs, seed);
 }

@@ -6,6 +6,9 @@ fn main() {
     print_header(&["load", "cost"]);
     for i in 0..=24 {
         let l = i as f64 * 0.05;
-        print_row(&[format!("{l:.2}"), format!("{:.3}", sof_core::fortz_thorup(l, 1.0))]);
+        print_row(&[
+            format!("{l:.2}"),
+            format!("{:.3}", sof_core::fortz_thorup(l, 1.0)),
+        ]);
     }
 }

@@ -3,7 +3,14 @@ use sof_bench::{average, print_header, print_row, Algo, Args};
 use sof_core::SofdaConfig;
 use sof_topo::{build_instance, softlayer, ScenarioParams};
 
-fn sweep(name: &str, values: &[usize], seeds: u64, base: u64, with_exact: bool, apply: impl Fn(&mut ScenarioParams, usize)) {
+fn sweep(
+    name: &str,
+    values: &[usize],
+    seeds: u64,
+    base: u64,
+    with_exact: bool,
+    apply: impl Fn(&mut ScenarioParams, usize),
+) {
     println!("\n## Fig. 8 — cost vs {name} (SoftLayer)\n");
     let algos = Algo::comparison_set(with_exact);
     let mut hdr = vec![name];
@@ -29,12 +36,40 @@ fn sweep(name: &str, values: &[usize], seeds: u64, base: u64, with_exact: bool, 
 
 fn main() {
     let args = Args::capture();
-    let seeds: u64 = args.get("seeds", 5);
+    let seeds: u64 = args.seeds(5);
     let base: u64 = args.get("seed", 1000);
     let exact: usize = args.get("exact", 1);
     println!("# Fig. 8 — SoftLayer one-time deployment (seeds = {seeds})");
-    sweep("#sources", &[2, 8, 14, 20, 26], seeds, base, exact == 1, |p, v| p.sources = v);
-    sweep("#destinations", &[2, 4, 6, 8, 10], seeds, base, exact == 1, |p, v| p.destinations = v);
-    sweep("#VMs", &[5, 15, 25, 35, 45], seeds, base, exact == 1, |p, v| p.vm_count = v);
-    sweep("chain length", &[3, 4, 5, 6, 7], seeds, base, exact == 1, |p, v| p.chain_len = v);
+    sweep(
+        "#sources",
+        &[2, 8, 14, 20, 26],
+        seeds,
+        base,
+        exact == 1,
+        |p, v| p.sources = v,
+    );
+    sweep(
+        "#destinations",
+        &[2, 4, 6, 8, 10],
+        seeds,
+        base,
+        exact == 1,
+        |p, v| p.destinations = v,
+    );
+    sweep(
+        "#VMs",
+        &[5, 15, 25, 35, 45],
+        seeds,
+        base,
+        exact == 1,
+        |p, v| p.vm_count = v,
+    );
+    sweep(
+        "chain length",
+        &[3, 4, 5, 6, 7],
+        seeds,
+        base,
+        exact == 1,
+        |p, v| p.chain_len = v,
+    );
 }

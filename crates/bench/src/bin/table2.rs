@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 fn main() {
     let args = Args::capture();
-    let seeds: u64 = args.get("seeds", 10);
+    let seeds: u64 = args.seeds(10);
     let base: u64 = args.get("seed", 7000);
     println!("# Table II — testbed QoE (2 sources, 4 destinations, transcoder→watermark)\n");
     print_header(&[
@@ -44,7 +44,8 @@ fn main() {
                 ),
             )
             .expect("valid instance");
-            let Some(r) = sof_bench::run(algo, &inst, &SofdaConfig::default().with_seed(seed)) else {
+            let Some(r) = sof_bench::run(algo, &inst, &SofdaConfig::default().with_seed(seed))
+            else {
                 continue;
             };
             let forest = r.outcome.expect("present").forest;
@@ -53,11 +54,21 @@ fn main() {
             let mut caps: HashMap<sof_graph::EdgeId, f64> = HashMap::new();
             for (e, edge) in inst.network.graph().edges() {
                 let stub = edge.u.index() >= 14 || edge.v.index() >= 14;
-                caps.insert(e, if stub { 1000.0 } else { rng.range_f64(4.5, 9.0) });
+                caps.insert(
+                    e,
+                    if stub {
+                        1000.0
+                    } else {
+                        rng.range_f64(4.5, 9.0)
+                    },
+                );
             }
             // Multicast: one download session per service tree (walks from
             // the same source share link bandwidth as a single stream copy).
-            let mut by_tree: std::collections::BTreeMap<sof_graph::NodeId, std::collections::BTreeSet<sof_graph::EdgeId>> = Default::default();
+            let mut by_tree: std::collections::BTreeMap<
+                sof_graph::NodeId,
+                std::collections::BTreeSet<sof_graph::EdgeId>,
+            > = Default::default();
             for w in &forest.walks {
                 let entry = by_tree.entry(w.source).or_default();
                 for p in w.nodes.windows(2) {
@@ -68,18 +79,27 @@ fn main() {
             }
             let sessions: Vec<Session> = by_tree
                 .values()
-                .map(|links| Session { links: links.iter().copied().collect() })
+                .map(|links| Session {
+                    links: links.iter().copied().collect(),
+                })
                 .collect();
-            for (ei, env) in [EnvironmentProfile::hardware_testbed(), EnvironmentProfile::emulab()]
-                .iter()
-                .enumerate()
+            for (ei, env) in [
+                EnvironmentProfile::hardware_testbed(),
+                EnvironmentProfile::emulab(),
+            ]
+            .iter()
+            .enumerate()
             {
                 let qoe = simulate_sessions(&sessions, &caps, &player, env, 1.25);
-                let fin: Vec<_> = qoe.iter().filter(|q| q.startup_latency_s.is_finite()).collect();
+                let fin: Vec<_> = qoe
+                    .iter()
+                    .filter(|q| q.startup_latency_s.is_finite())
+                    .collect();
                 if fin.is_empty() {
                     continue;
                 }
-                let su: f64 = fin.iter().map(|q| q.startup_latency_s).sum::<f64>() / fin.len() as f64;
+                let su: f64 =
+                    fin.iter().map(|q| q.startup_latency_s).sum::<f64>() / fin.len() as f64;
                 let rb: f64 = fin.iter().map(|q| q.rebuffering_s).sum::<f64>() / fin.len() as f64;
                 sums[ei] += su;
                 sums[2 + ei] += rb;

@@ -23,6 +23,41 @@ use sof_baselines::{solve_enemp, solve_est, solve_st};
 use sof_core::{SofInstance, SofdaConfig, SolveOutcome};
 use std::time::Instant;
 
+/// A parameter sweep: axis label, swept values, and the setter applying a
+/// value to [`sof_topo::ScenarioParams`].
+pub type Sweep = (
+    &'static str,
+    Vec<usize>,
+    Box<dyn Fn(&mut sof_topo::ScenarioParams, usize)>,
+);
+
+/// The standard one-time-deployment sweep grid shared by Figs. 9-10:
+/// #sources / #destinations / #VMs / chain length over the paper's ranges.
+pub fn standard_sweeps() -> Vec<Sweep> {
+    vec![
+        (
+            "#sources",
+            vec![2, 8, 14, 20, 26],
+            Box::new(|p: &mut sof_topo::ScenarioParams, v| p.sources = v),
+        ),
+        (
+            "#destinations",
+            vec![2, 4, 6, 8, 10],
+            Box::new(|p, v| p.destinations = v),
+        ),
+        (
+            "#VMs",
+            vec![5, 15, 25, 35, 45],
+            Box::new(|p, v| p.vm_count = v),
+        ),
+        (
+            "chain length",
+            vec![3, 4, 5, 6, 7],
+            Box::new(|p, v| p.chain_len = v),
+        ),
+    ]
+}
+
 /// Which algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Algo {
@@ -156,6 +191,12 @@ impl Args {
         Args {
             raw: std::env::args().collect(),
         }
+    }
+
+    /// Reads `--seeds` (averaging width), clamped to at least 1 because
+    /// averaging over zero seeds is a `None` from [`average`].
+    pub fn seeds(&self, default: u64) -> u64 {
+        self.get("seeds", default).max(1)
     }
 
     /// Reads `--name <value>` with a default.

@@ -257,7 +257,11 @@ impl WalkSet {
     /// Rebuilds `w` on free VMs only (fallback path): shortest walk from the
     /// source through `|C|` currently-unused VMs ending at a VM able to run
     /// the final VNF.
-    fn fallback_chain(&mut self, w: &ChainWalk, network: &Network) -> Result<ChainWalk, ConflictError> {
+    fn fallback_chain(
+        &mut self,
+        w: &ChainWalk,
+        network: &Network,
+    ) -> Result<ChainWalk, ConflictError> {
         let err = ConflictError::Unresolvable { source: w.source };
         let last = self.chain_len.checked_sub(1);
         // Free VMs, plus the original last VM if it can still run f_|C|.
@@ -272,7 +276,8 @@ impl WalkSet {
         if free.len() < self.chain_len {
             return Err(err);
         }
-        let cm = crate::ChainMetric::build(network, w.source, &free, Cost::ZERO).ok_or(err.clone())?;
+        let cm =
+            crate::ChainMetric::build(network, w.source, &free, Cost::ZERO).ok_or(err.clone())?;
         // The anchor must stay the same so distribution tails remain valid.
         let target = cm.index_of(w.anchor());
         let mut rng = sof_graph::Rng64::seed_from(0xFA11_BACC);
@@ -351,7 +356,10 @@ fn splice(prefix: &ChainWalk, pi: usize, suffix: &ChainWalk, si: usize) -> Chain
     let mut vnf_positions = prefix.vnf_positions[..=pi].to_vec();
     for idx in pi + 1..suffix.vnf_positions.len() {
         let old = suffix.vnf_positions[idx];
-        debug_assert!(old > s_pos, "kept suffix placement must follow splice point");
+        debug_assert!(
+            old > s_pos,
+            "kept suffix placement must follow splice point"
+        );
         vnf_positions.push(p_pos + (old - s_pos));
     }
     ChainWalk {
@@ -394,8 +402,10 @@ mod tests {
     fn disjoint_walks_coexist() {
         let network = net();
         let mut set = WalkSet::new(2);
-        set.add_walk(walk(0, &[0, 7, 6], &[1, 2]), &network).unwrap();
-        set.add_walk(walk(1, &[1, 2, 3], &[1, 2]), &network).unwrap();
+        set.add_walk(walk(0, &[0, 7, 6], &[1, 2]), &network)
+            .unwrap();
+        set.add_walk(walk(1, &[1, 2, 3], &[1, 2]), &network)
+            .unwrap();
         assert_eq!(set.stats.total(), 0);
         assert_eq!(set.enabled().count(), 4);
     }
@@ -404,9 +414,11 @@ mod tests {
     fn shared_consistent_vms_are_free() {
         let network = net();
         let mut set = WalkSet::new(2);
-        set.add_walk(walk(0, &[0, 7, 6], &[1, 2]), &network).unwrap();
+        set.add_walk(walk(0, &[0, 7, 6], &[1, 2]), &network)
+            .unwrap();
         // Same placements from another source: no conflict.
-        set.add_walk(walk(1, &[1, 0, 7, 6], &[2, 3]), &network).unwrap();
+        set.add_walk(walk(1, &[1, 0, 7, 6], &[2, 3]), &network)
+            .unwrap();
         assert_eq!(set.stats.total(), 0);
         assert_eq!(set.enabled().count(), 2);
     }
@@ -416,7 +428,8 @@ mod tests {
         let network = net();
         let mut set = WalkSet::new(2);
         // W1: f1@7, f2@6.
-        set.add_walk(walk(0, &[0, 7, 6], &[1, 2]), &network).unwrap();
+        set.add_walk(walk(0, &[0, 7, 6], &[1, 2]), &network)
+            .unwrap();
         // W2 wants f1@6 (enabled f2@6): j=0 < i=1 → case 1: W2 adopts W1's
         // prefix through 6 and keeps its own f2@5... but W2's own f2 is at 5.
         let slot = set
@@ -427,7 +440,12 @@ mod tests {
         // New W2 = W1 prefix (0,7,6) + suffix (5).
         assert_eq!(
             w2.nodes,
-            vec![NodeId::new(0), NodeId::new(7), NodeId::new(6), NodeId::new(5)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(7),
+                NodeId::new(6),
+                NodeId::new(5)
+            ]
         );
         assert_eq!(w2.vnf_positions, vec![1, 2]);
         // The prefix supplied both f1 and f2 (ending at node 6); the stretch
@@ -442,7 +460,8 @@ mod tests {
         let network = net();
         let mut set = WalkSet::new(2);
         // W1: f1@6, f2@5.
-        set.add_walk(walk(0, &[0, 7, 6, 5], &[2, 3]), &network).unwrap();
+        set.add_walk(walk(0, &[0, 7, 6, 5], &[2, 3]), &network)
+            .unwrap();
         // W2 wants f2@6 (enabled f1@6): j=1 > i=0, no earlier conflict →
         // case 3: W1 is displaced and re-attached to W2's prefix.
         set.add_walk(walk(1, &[1, 2, 3, 4, 5, 6], &[2, 5]), &network)

@@ -99,7 +99,9 @@ pub fn destination_join(
     }
 
     let sp_from_d = ShortestPaths::from_source(network.graph(), d);
-    let mut best: Option<(Cost, usize, usize, Vec<NodeId>, Vec<usize>)> = None; // (cost, walk, pos, ext nodes, ext vnf offsets)
+    // (cost, walk, pos, extension nodes, extension VNF offsets)
+    type Extension = (Cost, usize, usize, Vec<NodeId>, Vec<usize>);
+    let mut best: Option<Extension> = None;
     for (&x, &(f, wi, pos)) in &best_at {
         let remaining = chain_len - f;
         if remaining == 0 {
@@ -170,8 +172,9 @@ pub fn destination_join(
         }
     }
 
-    let (added, wi, pos, ext, offsets) =
-        best.ok_or_else(|| DynamicsError::Infeasible("no attach point reaches the new destination".into()))?;
+    let (added, wi, pos, ext, offsets) = best.ok_or_else(|| {
+        DynamicsError::Infeasible("no attach point reaches the new destination".into())
+    })?;
     let host = &forest.walks[wi];
     let mut nodes = host.nodes[..=pos].to_vec();
     let base = nodes.len() - 1;
@@ -219,7 +222,11 @@ pub fn vnf_delete(
     let mut cache: BTreeMap<NodeId, ShortestPaths> = BTreeMap::new();
     for w in &mut forest.walks {
         let p_del = w.vnf_positions[idx];
-        let p_prev = if idx == 0 { 0 } else { w.vnf_positions[idx - 1] };
+        let p_prev = if idx == 0 {
+            0
+        } else {
+            w.vnf_positions[idx - 1]
+        };
         let p_next = if idx + 1 < w.vnf_positions.len() {
             w.vnf_positions[idx + 1]
         } else {
@@ -283,7 +290,11 @@ pub fn vnf_insert(
     let mut cache: BTreeMap<NodeId, ShortestPaths> = BTreeMap::new();
     let mut new_walks = forest.walks.clone();
     for w in &mut new_walks {
-        let p_a = if idx == 0 { 0 } else { w.vnf_positions[idx - 1] };
+        let p_a = if idx == 0 {
+            0
+        } else {
+            w.vnf_positions[idx - 1]
+        };
         let p_b = if idx < w.vnf_positions.len() {
             w.vnf_positions[idx]
         } else {
@@ -492,13 +503,22 @@ mod tests {
         let mut net = Network::all_switches(g);
         let picks = rng.sample_indices(24, 14);
         for &v in &picks[..8] {
-            net.make_vm(sof_graph::NodeId::new(v), Cost::new(rng.range_f64(0.5, 3.0)));
+            net.make_vm(
+                sof_graph::NodeId::new(v),
+                Cost::new(rng.range_f64(0.5, 3.0)),
+            );
         }
         SofInstance::new(
             net,
             Request::new(
-                vec![sof_graph::NodeId::new(picks[8]), sof_graph::NodeId::new(picks[9])],
-                picks[10..13].iter().map(|&i| sof_graph::NodeId::new(i)).collect(),
+                vec![
+                    sof_graph::NodeId::new(picks[8]),
+                    sof_graph::NodeId::new(picks[9]),
+                ],
+                picks[10..13]
+                    .iter()
+                    .map(|&i| sof_graph::NodeId::new(i))
+                    .collect(),
                 ServiceChain::with_len(2),
             ),
         )
@@ -641,7 +661,11 @@ mod tests {
         // Chain length 0: joins are plain shortest-path attachments.
         let mut g = Graph::with_nodes(5);
         for i in 0..4 {
-            g.add_edge(sof_graph::NodeId::new(i), sof_graph::NodeId::new(i + 1), Cost::new(1.0));
+            g.add_edge(
+                sof_graph::NodeId::new(i),
+                sof_graph::NodeId::new(i + 1),
+                Cost::new(1.0),
+            );
         }
         let net = Network::all_switches(g);
         let mut inst = SofInstance::new(

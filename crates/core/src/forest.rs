@@ -364,7 +364,7 @@ impl ServiceForest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{NodeKind, Request, ServiceChain};
+    use crate::{Request, ServiceChain};
     use sof_graph::Graph;
 
     /// Path 0-1-2-3-4 with VMs at 1 (cost 2) and 2 (cost 3), unit links.

@@ -83,7 +83,11 @@ impl Network {
     ///
     /// Returns [`InstanceError::SwitchWithCost`] when a switch carries a
     /// non-zero cost and panics if the vector lengths disagree.
-    pub fn new(graph: Graph, kinds: Vec<NodeKind>, costs: Vec<Cost>) -> Result<Network, InstanceError> {
+    pub fn new(
+        graph: Graph,
+        kinds: Vec<NodeKind>,
+        costs: Vec<Cost>,
+    ) -> Result<Network, InstanceError> {
         assert_eq!(graph.node_count(), kinds.len(), "kinds length mismatch");
         assert_eq!(graph.node_count(), costs.len(), "costs length mismatch");
         for (i, (&k, &c)) in kinds.iter().zip(costs.iter()).enumerate() {
@@ -91,7 +95,11 @@ impl Network {
                 return Err(InstanceError::SwitchWithCost(NodeId::new(i)));
             }
         }
-        Ok(Network { graph, kinds, costs })
+        Ok(Network {
+            graph,
+            kinds,
+            costs,
+        })
     }
 
     /// Marks `v` as a VM with the given setup cost.
@@ -387,7 +395,11 @@ mod tests {
     #[test]
     fn instance_validation() {
         let net = Network::all_switches(tiny());
-        let req = Request::new(vec![NodeId::new(0)], vec![NodeId::new(3)], ServiceChain::with_len(1));
+        let req = Request::new(
+            vec![NodeId::new(0)],
+            vec![NodeId::new(3)],
+            ServiceChain::with_len(1),
+        );
         let inst = SofInstance::new(net.clone(), req).unwrap();
         assert_eq!(inst.chain_len(), 1);
 
@@ -396,7 +408,11 @@ mod tests {
             SofInstance::new(net.clone(), bad).unwrap_err(),
             InstanceError::NoSources
         );
-        let oob = Request::new(vec![NodeId::new(9)], vec![NodeId::new(3)], ServiceChain::default());
+        let oob = Request::new(
+            vec![NodeId::new(9)],
+            vec![NodeId::new(3)],
+            ServiceChain::default(),
+        );
         assert_eq!(
             SofInstance::new(net, oob).unwrap_err(),
             InstanceError::NodeOutOfRange(NodeId::new(9))

@@ -18,6 +18,10 @@ use sof_graph::{Cost, Graph, NodeId, Rng64};
 use sof_steiner::SteinerTree;
 use std::collections::{BTreeMap, HashMap};
 
+/// Chain tails grouped by `(source index, anchor VM)`: each entry lists the
+/// destinations anchored there with the real anchor-to-destination path.
+type ChainTails = BTreeMap<(usize, NodeId), Vec<(NodeId, Vec<NodeId>)>>;
+
 /// Solves the general multi-source SOF problem (Algorithm 2).
 ///
 /// # Errors
@@ -50,7 +54,10 @@ use std::collections::{BTreeMap, HashMap};
 /// assert!(out.forest.walks.len() == 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn solve_sofda(instance: &SofInstance, config: &SofdaConfig) -> Result<SolveOutcome, SolveError> {
+pub fn solve_sofda(
+    instance: &SofInstance,
+    config: &SofdaConfig,
+) -> Result<SolveOutcome, SolveError> {
     let network = &instance.network;
     let sources = &instance.request.sources;
     let dests = &instance.request.destinations;
@@ -104,7 +111,9 @@ pub fn solve_sofda(instance: &SofInstance, config: &SofdaConfig) -> Result<Solve
                     break;
                 }
                 if p == shat {
-                    return Err(SolveError::Infeasible(format!("{d} attached to ŝ directly")));
+                    return Err(SolveError::Infeasible(format!(
+                        "{d} attached to ŝ directly"
+                    )));
                 }
                 nodes.push(p);
                 cur = p;
@@ -154,7 +163,7 @@ pub fn solve_sofda(instance: &SofInstance, config: &SofdaConfig) -> Result<Solve
 
     // --- Per destination: find the first virtual edge above it. ----------
     // tails[d] = (source index, anchor VM, real path anchor→d).
-    let mut needed_chains: BTreeMap<(usize, NodeId), Vec<(NodeId, Vec<NodeId>)>> = BTreeMap::new();
+    let mut needed_chains: ChainTails = BTreeMap::new();
     for &d in dests {
         let mut tail_rev = vec![d];
         let mut cur = d;
@@ -183,7 +192,10 @@ pub fn solve_sofda(instance: &SofInstance, config: &SofdaConfig) -> Result<Solve
             cur = p;
         };
         let tail: Vec<NodeId> = tail_rev.into_iter().rev().collect();
-        needed_chains.entry((si, anchor)).or_default().push((d, tail));
+        needed_chains
+            .entry((si, anchor))
+            .or_default()
+            .push((d, tail));
     }
 
     // --- Deploy chains with conflict resolution (Procedure 4). -----------
@@ -224,7 +236,12 @@ pub fn solve_sofda(instance: &SofInstance, config: &SofdaConfig) -> Result<Solve
             });
         }
     }
-    crate::sofda_ss::finish(instance, config, ServiceForest::new(chain_len, walks), stats)
+    crate::sofda_ss::finish(
+        instance,
+        config,
+        ServiceForest::new(chain_len, walks),
+        stats,
+    )
 }
 
 /// Runs the configured Steiner solver over `ŝ ∪ D`.
@@ -252,8 +269,8 @@ fn root_tree(aux: &Graph, tree: &SteinerTree, root: NodeId) -> HashMap<NodeId, N
     parent.insert(root, root);
     while let Some(u) = stack.pop() {
         for &v in adj.get(&u).into_iter().flatten() {
-            if !parent.contains_key(&v) {
-                parent.insert(v, u);
+            if let std::collections::hash_map::Entry::Vacant(slot) = parent.entry(v) {
+                slot.insert(u);
                 stack.push(v);
             }
         }
@@ -322,7 +339,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins * 2 >= total, "SOFDA wildly worse than SOFDA-SS: {wins}/{total}");
+        assert!(
+            wins * 2 >= total,
+            "SOFDA wildly worse than SOFDA-SS: {wins}/{total}"
+        );
     }
 
     #[test]

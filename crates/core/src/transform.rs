@@ -66,7 +66,13 @@ impl ChainMetric {
         let setup: Vec<Cost> = nodes
             .iter()
             .enumerate()
-            .map(|(i, &v)| if i == 0 { Cost::ZERO } else { network.node_cost(v) })
+            .map(|(i, &v)| {
+                if i == 0 {
+                    Cost::ZERO
+                } else {
+                    network.node_cost(v)
+                }
+            })
             .collect();
         let n = nodes.len();
         let pot: Vec<Cost> = setup
@@ -292,7 +298,12 @@ mod tests {
     fn source_in_vm_set_is_deduplicated() {
         let mut net = net();
         net.make_vm(NodeId::new(0), Cost::new(9.0));
-        let all = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+        let all = vec![
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+        ];
         let cm = ChainMetric::build(&net, NodeId::new(0), &all, Cost::ZERO).unwrap();
         assert_eq!(cm.len(), 4); // source occupies slot 0 once
         assert_eq!(cm.index_of(NodeId::new(0)), Some(0));

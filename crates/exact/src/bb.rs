@@ -68,8 +68,7 @@ fn violations(lg: &LayeredGraph, arb: &Arborescence) -> HashMap<usize, Vec<usize
 /// practice — budget ≥ a few hundred suffices for the paper's instances).
 pub fn solve_exact(instance: &SofInstance, node_budget: usize) -> Result<ExactOutcome, ExactError> {
     let lg = LayeredGraph::build(instance, Cost::ZERO);
-    let root_rel =
-        directed_steiner(&lg, &Restrictions::default()).ok_or(ExactError::Infeasible)?;
+    let root_rel = directed_steiner(&lg, &Restrictions::default()).ok_or(ExactError::Infeasible)?;
     let lower_bound = root_rel.cost;
 
     // Best-first queue ordered by relaxation cost.
@@ -300,7 +299,10 @@ mod tests {
             net,
             Request::new(
                 vec![NodeId::new(picks[6]), NodeId::new(picks[7])],
-                picks[8..8 + dests].iter().map(|&i| NodeId::new(i)).collect(),
+                picks[8..8 + dests]
+                    .iter()
+                    .map(|&i| NodeId::new(i))
+                    .collect(),
                 ServiceChain::with_len(chain),
             ),
         )

@@ -118,8 +118,13 @@ impl IpFormulation {
         for f in 0..segs {
             for (ai, &(_, _, c)) in self.arcs.iter().enumerate() {
                 if c.value() > 0.0 {
-                    write!(s, "{} {} tau_{f}_{ai}", if first { "" } else { " +" }, c.value())
-                        .unwrap();
+                    write!(
+                        s,
+                        "{} {} tau_{f}_{ai}",
+                        if first { "" } else { " +" },
+                        c.value()
+                    )
+                    .unwrap();
                     first = false;
                 }
             }
@@ -207,7 +212,10 @@ impl IpFormulation {
             }
             // (3): walk ends at its destination.
             if w.nodes.last() != Some(&w.destination) {
-                return Err(format!("constraint (3): walk must end at {}", w.destination));
+                return Err(format!(
+                    "constraint (3): walk must end at {}",
+                    w.destination
+                ));
             }
             // (7): per segment, flow conservation along the walk; and
             // (8): every π arc is present in τ.
@@ -299,7 +307,9 @@ mod tests {
             let inst = instance(seed);
             let ip = IpFormulation::build(&inst);
             let out = solve_sofda(&inst, &SofdaConfig::default()).unwrap();
-            let obj = ip.check_forest(&out.forest).expect("forest must satisfy IP");
+            let obj = ip
+                .check_forest(&out.forest)
+                .expect("forest must satisfy IP");
             assert!(
                 obj.approx_eq(out.cost.total()),
                 "objective {obj} != forest cost {}",
@@ -314,7 +324,9 @@ mod tests {
             let inst = instance(seed + 50);
             let ip = IpFormulation::build(&inst);
             let out = crate::solve_exact(&inst, 300).unwrap();
-            let obj = ip.check_forest(&out.forest).expect("exact forest satisfies IP");
+            let obj = ip
+                .check_forest(&out.forest)
+                .expect("exact forest satisfies IP");
             assert!(obj.approx_eq(out.cost));
         }
     }

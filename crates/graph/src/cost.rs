@@ -232,7 +232,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![Cost::new(3.0), Cost::ZERO, Cost::INFINITY, Cost::new(1.0)];
+        let mut v = [Cost::new(3.0), Cost::ZERO, Cost::INFINITY, Cost::new(1.0)];
         v.sort();
         assert_eq!(v[0], Cost::ZERO);
         assert_eq!(v[1], Cost::new(1.0));
@@ -254,7 +254,10 @@ mod tests {
     #[test]
     fn saturating_sub_clamps() {
         assert_eq!(Cost::new(1.0).saturating_sub(Cost::new(3.0)), Cost::ZERO);
-        assert_eq!(Cost::new(3.0).saturating_sub(Cost::new(1.0)), Cost::new(2.0));
+        assert_eq!(
+            Cost::new(3.0).saturating_sub(Cost::new(1.0)),
+            Cost::new(2.0)
+        );
     }
 
     #[test]

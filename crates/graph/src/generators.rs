@@ -44,7 +44,11 @@ fn random_spanning_tree(g: &mut Graph, n: usize, costs: CostRange, rng: &mut Rng
     rng.shuffle(&mut order);
     for i in 1..n {
         let parent = order[rng.below(i)];
-        g.add_edge(NodeId::new(order[i]), NodeId::new(parent), costs.sample(rng));
+        g.add_edge(
+            NodeId::new(order[i]),
+            NodeId::new(parent),
+            costs.sample(rng),
+        );
     }
 }
 
@@ -145,7 +149,7 @@ pub fn waxman(n: usize, alpha: f64, beta: f64, costs: CostRange, rng: &mut Rng64
                     continue;
                 }
                 let d = dist(a, b);
-                if best.map_or(true, |(_, _, bd)| d < bd) {
+                if best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((a, b, d));
                 }
             }
@@ -248,14 +252,20 @@ mod tests {
         assert!(r.is_connected());
         let gr = grid(3, 4, CostRange::UNIT, &mut rng);
         assert_eq!(gr.node_count(), 12);
-        assert_eq!(gr.edge_count(), 3 * 3 + 2 * 4 + 0); // 2*w*h - w - h = 17
+        assert_eq!(gr.edge_count(), 3 * 3 + 2 * 4); // 2*w*h - w - h = 17
         assert_eq!(gr.edge_count(), 2 * 3 * 4 - 3 - 4);
         assert!(gr.is_connected());
     }
 
     #[test]
     fn waxman_connected() {
-        let g = waxman(40, 0.6, 0.3, CostRange::new(1.0, 10.0), &mut Rng64::seed_from(2));
+        let g = waxman(
+            40,
+            0.6,
+            0.3,
+            CostRange::new(1.0, 10.0),
+            &mut Rng64::seed_from(2),
+        );
         assert!(g.is_connected());
         assert!(g.edge_count() >= 39);
     }

@@ -283,7 +283,12 @@ mod tests {
     #[test]
     fn walk_cost_follows_edges() {
         let g = triangle();
-        let walk = [NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(1)];
+        let walk = [
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(1),
+        ];
         assert_eq!(g.walk_cost(&walk), Some(Cost::new(5.0)));
         let broken = [NodeId::new(0), NodeId::new(0)];
         assert_eq!(g.walk_cost(&broken), None);
@@ -323,6 +328,10 @@ mod tests {
         let rebuilt = Graph::from(data.clone());
         assert_eq!(rebuilt.node_count(), g.node_count());
         assert_eq!(rebuilt.edge_count(), g.edge_count());
-        format!("{{\"nodes\":{},\"edges\":{}}}", data.nodes, data.edges.len())
+        format!(
+            "{{\"nodes\":{},\"edges\":{}}}",
+            data.nodes,
+            data.edges.len()
+        )
     }
 }

@@ -123,8 +123,14 @@ mod tests {
         let g = path_graph(5);
         let mc = MetricClosure::new(&g, vec![NodeId::new(0), NodeId::new(4), NodeId::new(2)]);
         assert_eq!(mc.len(), 3);
-        assert_eq!(mc.dist_between(NodeId::new(0), NodeId::new(4)), Cost::new(4.0));
-        assert_eq!(mc.dist_between(NodeId::new(2), NodeId::new(4)), Cost::new(2.0));
+        assert_eq!(
+            mc.dist_between(NodeId::new(0), NodeId::new(4)),
+            Cost::new(4.0)
+        );
+        assert_eq!(
+            mc.dist_between(NodeId::new(2), NodeId::new(4)),
+            Cost::new(2.0)
+        );
     }
 
     #[test]
@@ -141,7 +147,16 @@ mod tests {
         // Random-ish fixed graph; closure distances must be metric.
         let mut g = Graph::with_nodes(6);
         let costs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
-        let ends = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4), (2, 5)];
+        let ends = [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 0),
+            (1, 4),
+            (2, 5),
+        ];
         for (&(u, v), &c) in ends.iter().zip(costs.iter()) {
             g.add_edge(NodeId::new(u), NodeId::new(v), Cost::new(c));
         }

@@ -50,15 +50,21 @@ pub fn color_coding_all_targets(
     trials: usize,
     rng: &mut Rng64,
 ) -> ColorCodingResult {
-    assert!(k >= 1 && k <= 63, "k out of range: {k}");
+    assert!((1..=63).contains(&k), "k out of range: {k}");
     let n = metric.len();
     let mut best: Vec<Option<Stroll>> = vec![None; n];
     if source >= n || k > n {
-        return ColorCodingResult { best, trials_run: 0 };
+        return ColorCodingResult {
+            best,
+            trials_run: 0,
+        };
     }
     if k == 1 {
         best[source] = Some(Stroll::from_nodes(metric, vec![source]));
-        return ColorCodingResult { best, trials_run: 0 };
+        return ColorCodingResult {
+            best,
+            trials_run: 0,
+        };
     }
 
     let full: u64 = (1u64 << k) - 1;
@@ -118,9 +124,7 @@ pub fn color_coding_all_targets(
             // Any mask with k colors ending at t is a candidate; the only
             // k-color mask is `full` when all k colors are used.
             let cand = dp[(full as usize) * n + t];
-            if cand.is_finite()
-                && best[t].as_ref().is_none_or(|b| cand < b.cost)
-            {
+            if cand.is_finite() && best[t].as_ref().is_none_or(|b| cand < b.cost) {
                 // Reconstruct.
                 let mut nodes = vec![t];
                 let mut cell = (full as usize) * n + t;
@@ -229,7 +233,9 @@ mod tests {
         let m = euclid(5, 3);
         let mut rng = Rng64::seed_from(4);
         assert_eq!(
-            color_coding_stroll(&m, 2, 2, 1, 10, &mut rng).unwrap().nodes,
+            color_coding_stroll(&m, 2, 2, 1, 10, &mut rng)
+                .unwrap()
+                .nodes,
             vec![2]
         );
         assert!(color_coding_stroll(&m, 0, 1, 1, 10, &mut rng).is_none());

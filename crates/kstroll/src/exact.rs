@@ -37,7 +37,12 @@ pub fn estimated_work(n: usize, k: usize) -> f64 {
 /// assert_eq!(s.nodes, vec![0, 1, 2, 3]);
 /// assert_eq!(s.cost, Cost::new(3.0));
 /// ```
-pub fn exact_stroll(metric: &DenseMetric, source: usize, target: usize, k: usize) -> Option<Stroll> {
+pub fn exact_stroll(
+    metric: &DenseMetric,
+    source: usize,
+    target: usize,
+    k: usize,
+) -> Option<Stroll> {
     let n = metric.len();
     if source >= n || target >= n || k > n {
         return None;
@@ -72,6 +77,7 @@ pub fn exact_stroll(metric: &DenseMetric, source: usize, target: usize, k: usize
     // Candidate pool excluding the endpoints.
     let candidates: Vec<usize> = (0..n).filter(|&v| v != source && v != target).collect();
 
+    #[allow(clippy::too_many_arguments)] // recursion state threaded explicitly
     fn dfs(
         metric: &DenseMetric,
         candidates: &[usize],

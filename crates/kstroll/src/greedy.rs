@@ -22,7 +22,12 @@ const MAX_PASSES: usize = 32;
 /// let s = greedy_stroll(&m, 0, 4, 5).unwrap();
 /// assert_eq!(s.cost, Cost::new(4.0));
 /// ```
-pub fn greedy_stroll(metric: &DenseMetric, source: usize, target: usize, k: usize) -> Option<Stroll> {
+pub fn greedy_stroll(
+    metric: &DenseMetric,
+    source: usize,
+    target: usize,
+    k: usize,
+) -> Option<Stroll> {
     let n = metric.len();
     if source >= n || target >= n || k > n {
         return None;
@@ -41,8 +46,8 @@ pub fn greedy_stroll(metric: &DenseMetric, source: usize, target: usize, k: usiz
     // Cheapest-insertion construction.
     while path.len() < k {
         let mut best: Option<(Cost, usize, usize)> = None; // (delta, node, pos)
-        for v in 0..n {
-            if used[v] {
+        for (v, &taken) in used.iter().enumerate() {
+            if taken {
                 continue;
             }
             for pos in 1..path.len() {
@@ -68,8 +73,8 @@ pub fn greedy_stroll(metric: &DenseMetric, source: usize, target: usize, k: usiz
             let old = metric.cost(a, path[i]) + metric.cost(path[i], b);
             let mut best_v = None;
             let mut best_new = old;
-            for v in 0..n {
-                if used[v] {
+            for (v, &taken) in used.iter().enumerate() {
+                if taken {
                     continue;
                 }
                 let new = metric.cost(a, v) + metric.cost(v, b);

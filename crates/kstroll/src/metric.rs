@@ -137,9 +137,9 @@ mod tests {
     #[test]
     fn triangle_violation_detected() {
         let mut d = DenseMetric::from_fn(3, |_, _| Cost::new(1.0));
-        // Force a violation: 0-2 much longer than 0-1-2.
-        d.d[0 * 3 + 2] = Cost::new(10.0);
-        d.d[2 * 3 + 0] = Cost::new(10.0);
+        // Force a violation: 0-2 much longer than 0-1-2 (entries (0,2), (2,0)).
+        d.d[2] = Cost::new(10.0);
+        d.d[6] = Cost::new(10.0);
         assert!(!d.respects_triangle_inequality(1e-9));
     }
 }

@@ -18,8 +18,7 @@
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sof_core::{
-    DestWalk, Network, Request, ServiceForest, SofInstance, SofdaConfig, SolveError,
-    SolveOutcome,
+    DestWalk, Network, Request, ServiceForest, SofInstance, SofdaConfig, SolveError, SolveOutcome,
 };
 use sof_graph::{Cost, Graph, NodeId, Rng64, ShortestPaths};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -122,7 +121,9 @@ pub struct DistributedOutcome {
 ///
 /// # Errors
 ///
-/// Propagates [`SolveError`] from the underlying stages.
+/// Returns [`SolveError::Infeasible`] when `k` is zero or exceeds the node
+/// count, and otherwise propagates [`SolveError`] from the underlying
+/// stages.
 ///
 /// # Panics
 ///
@@ -132,14 +133,20 @@ pub fn distributed_sofda(
     k: usize,
     config: &SofdaConfig,
 ) -> Result<DistributedOutcome, SolveError> {
+    let n = instance.network.node_count();
+    if k == 0 || k > n {
+        return Err(SolveError::Infeasible(format!(
+            "bad domain count {k} for a {n}-node network"
+        )));
+    }
     let network = Arc::new(instance.network.clone());
     let part = Arc::new(DomainPartition::new(network.graph(), k, config.seed));
     let msg_count = Arc::new(Mutex::new(0usize));
 
     // Anchor set per domain: borders + local sources/VMs/destinations.
     let mut anchors_of: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); k];
-    for d in 0..k {
-        anchors_of[d].extend(part.borders(network.graph(), d));
+    for (d, anchors) in anchors_of.iter_mut().enumerate() {
+        anchors.extend(part.borders(network.graph(), d));
     }
     let interesting: Vec<NodeId> = instance
         .request
@@ -154,16 +161,15 @@ pub fn distributed_sofda(
     }
 
     // Spawn controllers.
-    let (to_leader, from_controllers): (Sender<(usize, Message)>, Receiver<(usize, Message)>) =
-        unbounded();
+    let (to_leader, from_controllers) = unbounded::<(usize, Message)>();
     let mut to_controllers: Vec<Sender<Message>> = Vec::with_capacity(k);
     let mut handles = Vec::with_capacity(k);
-    for d in 0..k {
+    for (d, domain_anchors) in anchors_of.iter().enumerate() {
         let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
         to_controllers.push(tx);
         let network = Arc::clone(&network);
         let part = Arc::clone(&part);
-        let anchors: Vec<NodeId> = anchors_of[d].iter().copied().collect();
+        let anchors: Vec<NodeId> = domain_anchors.iter().copied().collect();
         let leader = to_leader.clone();
         let msg_count = Arc::clone(&msg_count);
         handles.push(std::thread::spawn(move || {
@@ -191,14 +197,14 @@ pub fn distributed_sofda(
                 match msg {
                     Message::Expand { a, b, reply } => {
                         *msg_count.lock() += 2; // request + response
-                        let sp = trees
-                            .get(&a)
-                            .expect("expansion endpoints are anchors");
+                        let sp = trees.get(&a).expect("expansion endpoints are anchors");
                         let path = sp
                             .path_to(local.index_of[&b])
                             .expect("anchors connected locally");
-                        let real: Vec<NodeId> =
-                            path.into_iter().map(|i| local.original[i.index()]).collect();
+                        let real: Vec<NodeId> = path
+                            .into_iter()
+                            .map(|i| local.original[i.index()])
+                            .collect();
                         reply.send(real).expect("leader alive");
                     }
                     Message::Shutdown => break,
@@ -213,9 +219,9 @@ pub fn distributed_sofda(
     let mut abs_of: BTreeMap<NodeId, NodeId> = BTreeMap::new();
     let mut real_of: Vec<NodeId> = Vec::new();
     let abs_node = |v: NodeId,
-                        abstract_graph: &mut Graph,
-                        abs_of: &mut BTreeMap<NodeId, NodeId>,
-                        real_of: &mut Vec<NodeId>| {
+                    abstract_graph: &mut Graph,
+                    abs_of: &mut BTreeMap<NodeId, NodeId>,
+                    real_of: &mut Vec<NodeId>| {
         *abs_of.entry(v).or_insert_with(|| {
             let id = abstract_graph.add_node();
             real_of.push(v);
@@ -223,17 +229,24 @@ pub fn distributed_sofda(
         })
     };
     // Distance edges (received matrices), tagged with their owning domain.
-    let mut intra_edges: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+    // Matrices arrive in thread-completion order; buffer them and apply in
+    // domain order so abstract node ids (and thus the whole solve) are
+    // deterministic for a fixed seed.
+    let mut matrices: Vec<Vec<(NodeId, NodeId, Cost)>> = vec![Vec::new(); k];
     for _ in 0..k {
         let (d, msg) = from_controllers.recv().expect("controllers report");
         if let Message::AnchorMatrix { entries } = msg {
-            for (a, b, dist) in entries {
-                let ia = abs_node(a, &mut abstract_graph, &mut abs_of, &mut real_of);
-                let ib = abs_node(b, &mut abstract_graph, &mut abs_of, &mut real_of);
-                if ia < ib {
-                    abstract_graph.add_edge(ia, ib, dist);
-                    intra_edges.insert((ia, ib), d);
-                }
+            matrices[d] = entries;
+        }
+    }
+    let mut intra_edges: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+    for (d, entries) in matrices.into_iter().enumerate() {
+        for (a, b, dist) in entries {
+            let ia = abs_node(a, &mut abstract_graph, &mut abs_of, &mut real_of);
+            let ib = abs_node(b, &mut abstract_graph, &mut abs_of, &mut real_of);
+            if ia < ib {
+                abstract_graph.add_edge(ia, ib, dist);
+                intra_edges.insert((ia, ib), d);
             }
         }
     }
@@ -243,6 +256,14 @@ pub fn distributed_sofda(
             let ia = abs_node(e.u, &mut abstract_graph, &mut abs_of, &mut real_of);
             let ib = abs_node(e.v, &mut abstract_graph, &mut abs_of, &mut real_of);
             abstract_graph.add_edge(ia, ib, e.cost);
+        }
+    }
+    // Anchors that appeared in no distance entry and no inter-domain link
+    // (e.g. the lone anchor of a degenerate single-node domain) still need
+    // an abstract image, or role projection below would miss them.
+    for anchors in &anchors_of {
+        for &v in anchors {
+            abs_node(v, &mut abstract_graph, &mut abs_of, &mut real_of);
         }
     }
 
@@ -409,7 +430,10 @@ mod tests {
             let central = sof_core::solve_sofda(&inst, &SofdaConfig::default()).unwrap();
             let dist = distributed_sofda(&inst, 3, &SofdaConfig::default()).unwrap();
             dist.outcome.forest.validate(&inst).unwrap();
-            let (c, d) = (central.cost.total().value(), dist.outcome.cost.total().value());
+            let (c, d) = (
+                central.cost.total().value(),
+                dist.outcome.cost.total().value(),
+            );
             assert!(
                 d <= c * 1.6 + 1e-9 && c <= d * 1.6 + 1e-9,
                 "seed {seed}: centralized {c} vs distributed {d}"

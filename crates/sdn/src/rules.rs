@@ -48,18 +48,13 @@ impl RuleTable {
                 switch,
                 group,
                 outputs: outs.into_iter().collect(),
-                process: enabled
-                    .get(&switch)
-                    .copied()
-                    .filter(|&i| i + 1 == group),
+                process: enabled.get(&switch).copied().filter(|&i| i + 1 == group),
             })
             .collect();
         // Processing VMs that terminate a walk (no further outputs in the
         // next segment from them) still need a processing rule.
         for (&vm, &i) in &enabled {
-            let has = rules
-                .iter()
-                .any(|r| r.switch == vm && r.group == i + 1);
+            let has = rules.iter().any(|r| r.switch == vm && r.group == i + 1);
             if !has {
                 rules.push(FlowRule {
                     switch: vm,

@@ -43,7 +43,5 @@ mod workload;
 
 pub use des::{EventQueue, SimTime};
 pub use flow::{max_min_rates, Flow};
-pub use video::{
-    simulate_sessions, EnvironmentProfile, PlayerConfig, Qoe, Session,
-};
+pub use video::{simulate_sessions, EnvironmentProfile, PlayerConfig, Qoe, Session};
 pub use workload::{RequestStream, WorkloadParams};

@@ -158,7 +158,11 @@ fn playback_qoe(
         let mut prev = curve[0];
         for &(bt, bd) in curve.iter().skip(1) {
             if time <= bt {
-                let frac = if bt > prev.0 { (time - prev.0) / (bt - prev.0) } else { 1.0 };
+                let frac = if bt > prev.0 {
+                    (time - prev.0) / (bt - prev.0)
+                } else {
+                    1.0
+                };
                 return prev.1 + frac * (bd - prev.1);
             }
             prev = (bt, bd);
@@ -170,7 +174,11 @@ fn playback_qoe(
         for &(bt, bd) in curve.iter().skip(1) {
             if bd >= amount - 1e-12 {
                 let span = bd - prev.1;
-                let frac = if span > 1e-15 { (amount - prev.1) / span } else { 0.0 };
+                let frac = if span > 1e-15 {
+                    (amount - prev.1) / span
+                } else {
+                    0.0
+                };
                 return prev.0 + frac * (bt - prev.0);
             }
             prev = (bt, bd);

@@ -44,7 +44,7 @@ pub fn kmb(graph: &Graph, terminals: &[NodeId]) -> Result<SteinerTree, SteinerEr
             }
         }
     }
-    pairs.sort_by(|a, b| a.cmp(b));
+    pairs.sort();
     let mut uf = UnionFind::new(ts.len());
     let mut real_edges: Vec<EdgeId> = Vec::new();
     let mut joined = 0usize;

@@ -71,7 +71,7 @@ pub fn mehlhorn(graph: &Graph, terminals: &[NodeId]) -> Result<SteinerTree, Stei
         .into_iter()
         .map(|((a, b), (w, e))| (w, a, b, e))
         .collect();
-    cands.sort_by(|x, y| (x.0, x.1, x.2).cmp(&(y.0, y.1, y.2)));
+    cands.sort_by_key(|&(w, a, b, _)| (w, a, b));
     let mut idx: HashMap<NodeId, usize> = HashMap::new();
     for (i, &t) in distinct.iter().enumerate() {
         idx.insert(t, i);

@@ -61,7 +61,7 @@ pub fn takahashi_matsuyama(
         tree_nodes.extend(path);
         remaining.remove(&next);
     }
-    let distinct: Vec<NodeId> = terminals.iter().copied().collect();
+    let distinct: Vec<NodeId> = terminals.to_vec();
     let kept = prune_non_terminal_leaves(graph, edges, &distinct);
     Ok(SteinerTree::from_edges(graph, kept))
 }

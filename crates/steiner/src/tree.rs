@@ -101,7 +101,10 @@ impl SteinerTree {
         }
         let recomputed: Cost = self.edges.iter().map(|&e| graph.edge_cost(e)).sum();
         if !recomputed.approx_eq(self.cost) {
-            return Err(format!("cost mismatch: stored {} vs {}", self.cost, recomputed));
+            return Err(format!(
+                "cost mismatch: stored {} vs {}",
+                self.cost, recomputed
+            ));
         }
         Ok(())
     }
@@ -126,8 +129,8 @@ impl SteinerTree {
                 break;
             }
             for &v in adj.get(&u).into_iter().flatten() {
-                if !parent.contains_key(&v) {
-                    parent.insert(v, u);
+                if let std::collections::hash_map::Entry::Vacant(slot) = parent.entry(v) {
+                    slot.insert(u);
                     stack.push(v);
                 }
             }
@@ -149,7 +152,11 @@ impl SteinerTree {
 /// Removes cycles (via MST restricted to `edges`) and then repeatedly strips
 /// non-terminal leaves. Shared post-processing for the approximation
 /// algorithms.
-pub(crate) fn mst_and_prune(graph: &Graph, edges: Vec<EdgeId>, terminals: &[NodeId]) -> Vec<EdgeId> {
+pub(crate) fn mst_and_prune(
+    graph: &Graph,
+    edges: Vec<EdgeId>,
+    terminals: &[NodeId],
+) -> Vec<EdgeId> {
     // MST restricted to the candidate edge set (Kruskal).
     let mut cand = edges;
     cand.sort();
@@ -236,17 +243,15 @@ mod tests {
         let kept = mst_and_prune(&g, all, &[NodeId::new(0), NodeId::new(2)]);
         assert!(!kept.contains(&back));
         let tree = SteinerTree::from_edges(&g, kept);
-        tree.validate(&g, &[NodeId::new(0), NodeId::new(2)]).unwrap();
+        tree.validate(&g, &[NodeId::new(0), NodeId::new(2)])
+            .unwrap();
     }
 
     #[test]
     fn validate_rejects_cycle_and_disconnection() {
         let mut g = line(4);
         let extra = g.add_edge(NodeId::new(0), NodeId::new(2), Cost::new(1.0));
-        let cyclic = SteinerTree::from_edges(
-            &g,
-            vec![EdgeId::new(0), EdgeId::new(1), extra],
-        );
+        let cyclic = SteinerTree::from_edges(&g, vec![EdgeId::new(0), EdgeId::new(1), extra]);
         assert!(cyclic.validate(&g, &[NodeId::new(0)]).is_err());
 
         let partial = SteinerTree::from_edges(&g, vec![EdgeId::new(0)]);
@@ -263,7 +268,10 @@ mod tests {
             .path_between(&g, NodeId::new(0), NodeId::new(4))
             .unwrap();
         assert_eq!(p.len(), 5);
-        assert_eq!(tree.path_between(&g, NodeId::new(2), NodeId::new(2)), Some(vec![NodeId::new(2)]));
+        assert_eq!(
+            tree.path_between(&g, NodeId::new(2), NodeId::new(2)),
+            Some(vec![NodeId::new(2)])
+        );
     }
 
     #[test]

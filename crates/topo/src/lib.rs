@@ -110,7 +110,11 @@ pub fn softlayer() -> Topology {
 pub fn cogent() -> Topology {
     let mut rng = Rng64::seed_from(0xC0_6E07);
     let graph = sof_graph::generators::inet_like(190, 260, sof_graph::CostRange::UNIT, &mut rng);
-    let mut dc_nodes: Vec<NodeId> = rng.sample_indices(190, 40).into_iter().map(NodeId::new).collect();
+    let mut dc_nodes: Vec<NodeId> = rng
+        .sample_indices(190, 40)
+        .into_iter()
+        .map(NodeId::new)
+        .collect();
     dc_nodes.sort();
     Topology {
         name: "cogent",
@@ -140,7 +144,8 @@ pub fn inet_synthetic(seed: u64) -> Topology {
 /// A scaled-down Inet-style topology (for Table I's |V| sweep).
 pub fn inet_sized(nodes: usize, links: usize, dcs: usize, seed: u64) -> Topology {
     let mut rng = Rng64::seed_from(seed.wrapping_mul(0x9E3779B97F4A7C15));
-    let graph = sof_graph::generators::inet_like(nodes, links, sof_graph::CostRange::UNIT, &mut rng);
+    let graph =
+        sof_graph::generators::inet_like(nodes, links, sof_graph::CostRange::UNIT, &mut rng);
     let mut dc_nodes: Vec<NodeId> = rng
         .sample_indices(nodes, dcs)
         .into_iter()

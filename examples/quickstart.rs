@@ -21,13 +21,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // A VM attached off-ring (e.g., in a data center).
     let dc_vm = net.add_node(NodeKind::Vm, Cost::new(0.3));
-    net.graph_mut().add_edge(dc_vm, NodeId::new(4), Cost::new(0.2));
+    net.graph_mut()
+        .add_edge(dc_vm, NodeId::new(4), Cost::new(0.2));
 
     let inst = SofInstance::new(
         net,
         Request::new(
-            vec![NodeId::new(0), NodeId::new(4)],          // candidate sources
-            vec![NodeId::new(2), NodeId::new(6)],          // destinations
+            vec![NodeId::new(0), NodeId::new(4)], // candidate sources
+            vec![NodeId::new(2), NodeId::new(6)], // destinations
             ServiceChain::from_names(["transcoder", "watermark"]),
         ),
     )?;
@@ -44,9 +45,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Baselines on the same instance.
     for (name, r) in [
-        ("ST   ", sof::baselines::solve_st(&inst, &SofdaConfig::default())?),
-        ("eST  ", sof::baselines::solve_est(&inst, &SofdaConfig::default())?),
-        ("eNEMP", sof::baselines::solve_enemp(&inst, &SofdaConfig::default())?),
+        (
+            "ST   ",
+            sof::baselines::solve_st(&inst, &SofdaConfig::default())?,
+        ),
+        (
+            "eST  ",
+            sof::baselines::solve_est(&inst, &SofdaConfig::default())?,
+        ),
+        (
+            "eNEMP",
+            sof::baselines::solve_enemp(&inst, &SofdaConfig::default())?,
+        ),
     ] {
         println!("{name} cost: {}", r.cost);
     }

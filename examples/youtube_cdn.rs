@@ -33,17 +33,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut caps: HashMap<sof::graph::EdgeId, f64> = HashMap::new();
     for (e, edge) in inst.network.graph().edges() {
         let stub = edge.u.index() >= 14 || edge.v.index() >= 14;
-        caps.insert(e, if stub { 1000.0 } else { rng.range_f64(4.5, 9.0) });
+        caps.insert(
+            e,
+            if stub {
+                1000.0
+            } else {
+                rng.range_f64(4.5, 9.0)
+            },
+        );
     }
     let player = PlayerConfig::default(); // 137 s @ 8 Mbps
 
     for (name, out) in [
-        ("SOFDA", sof::core::solve_sofda(&inst, &SofdaConfig::default())?),
-        ("eNEMP", sof::baselines::solve_enemp(&inst, &SofdaConfig::default())?),
-        ("eST", sof::baselines::solve_est(&inst, &SofdaConfig::default())?),
+        (
+            "SOFDA",
+            sof::core::solve_sofda(&inst, &SofdaConfig::default())?,
+        ),
+        (
+            "eNEMP",
+            sof::baselines::solve_enemp(&inst, &SofdaConfig::default())?,
+        ),
+        (
+            "eST",
+            sof::baselines::solve_est(&inst, &SofdaConfig::default())?,
+        ),
     ] {
         // Multicast: one session per service tree (one stream copy per link).
-        let mut by_tree: std::collections::BTreeMap<sof::graph::NodeId, std::collections::BTreeSet<sof::graph::EdgeId>> = Default::default();
+        let mut by_tree: std::collections::BTreeMap<
+            sof::graph::NodeId,
+            std::collections::BTreeSet<sof::graph::EdgeId>,
+        > = Default::default();
         for w in &out.forest.walks {
             let entry = by_tree.entry(w.source).or_default();
             for p in w.nodes.windows(2) {
@@ -54,13 +73,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let sessions: Vec<Session> = by_tree
             .values()
-            .map(|links| Session { links: links.iter().copied().collect() })
+            .map(|links| Session {
+                links: links.iter().copied().collect(),
+            })
             .collect();
-        let qoe = simulate_sessions(&sessions, &caps, &player, &EnvironmentProfile::hardware_testbed(), 1.25);
-        let startup: f64 =
-            qoe.iter().map(|q| q.startup_latency_s).sum::<f64>() / qoe.len() as f64;
+        let qoe = simulate_sessions(
+            &sessions,
+            &caps,
+            &player,
+            &EnvironmentProfile::hardware_testbed(),
+            1.25,
+        );
+        let startup: f64 = qoe.iter().map(|q| q.startup_latency_s).sum::<f64>() / qoe.len() as f64;
         let rebuf: f64 = qoe.iter().map(|q| q.rebuffering_s).sum::<f64>() / qoe.len() as f64;
-        println!("{name:<6} cost {:>8.2}   startup {startup:>5.1} s   rebuffering {rebuf:>6.1} s", out.cost.total().value());
+        println!(
+            "{name:<6} cost {:>8.2}   startup {startup:>5.1} s   rebuffering {rebuf:>6.1} s",
+            out.cost.total().value()
+        );
     }
     Ok(())
 }

@@ -49,7 +49,11 @@ fn disconnected_network_rejected_at_instance_construction() {
     g.add_node(); // isolated
     let err = SofInstance::new(
         Network::all_switches(g),
-        Request::new(vec![NodeId::new(0)], vec![NodeId::new(2)], ServiceChain::default()),
+        Request::new(
+            vec![NodeId::new(0)],
+            vec![NodeId::new(2)],
+            ServiceChain::default(),
+        ),
     )
     .unwrap_err();
     assert_eq!(err, sof::core::InstanceError::Disconnected);
@@ -59,10 +63,17 @@ fn disconnected_network_rejected_at_instance_construction() {
 fn out_of_range_endpoints_rejected() {
     let err = SofInstance::new(
         Network::all_switches(line(3)),
-        Request::new(vec![NodeId::new(7)], vec![NodeId::new(2)], ServiceChain::default()),
+        Request::new(
+            vec![NodeId::new(7)],
+            vec![NodeId::new(2)],
+            ServiceChain::default(),
+        ),
     )
     .unwrap_err();
-    assert_eq!(err, sof::core::InstanceError::NodeOutOfRange(NodeId::new(7)));
+    assert_eq!(
+        err,
+        sof::core::InstanceError::NodeOutOfRange(NodeId::new(7))
+    );
 }
 
 #[test]
@@ -92,7 +103,11 @@ fn single_node_chain_on_two_node_network() {
     net.make_vm(NodeId::new(1), Cost::new(3.0));
     let inst = SofInstance::new(
         net,
-        Request::new(vec![NodeId::new(0)], vec![NodeId::new(1)], ServiceChain::with_len(1)),
+        Request::new(
+            vec![NodeId::new(0)],
+            vec![NodeId::new(1)],
+            ServiceChain::with_len(1),
+        ),
     )
     .unwrap();
     let out = solve_sofda(&inst, &SofdaConfig::default()).unwrap();
@@ -107,16 +122,117 @@ fn dynamics_reject_double_leave_and_foreign_nodes() {
     net.make_vm(NodeId::new(2), Cost::new(1.0));
     let mut inst = SofInstance::new(
         net,
-        Request::new(vec![NodeId::new(0)], vec![NodeId::new(5)], ServiceChain::with_len(1)),
+        Request::new(
+            vec![NodeId::new(0)],
+            vec![NodeId::new(5)],
+            ServiceChain::with_len(1),
+        ),
     )
     .unwrap();
     let out = solve_sofda(&inst, &SofdaConfig::default()).unwrap();
     let mut forest = out.forest;
     sof::core::dynamics::destination_leave(&mut inst, &mut forest, NodeId::new(5)).unwrap();
-    assert!(sof::core::dynamics::destination_leave(&mut inst, &mut forest, NodeId::new(5)).is_err());
+    assert!(
+        sof::core::dynamics::destination_leave(&mut inst, &mut forest, NodeId::new(5)).is_err()
+    );
     assert!(
         sof::core::dynamics::destination_join(&mut inst, &mut forest, NodeId::new(99)).is_err()
     );
+}
+
+#[test]
+fn no_vms_at_all_is_infeasible_not_a_panic() {
+    // A network of pure switches cannot host any chain of length >= 1.
+    let inst = SofInstance::new(
+        Network::all_switches(line(5)),
+        Request::new(
+            vec![NodeId::new(0)],
+            vec![NodeId::new(4)],
+            ServiceChain::with_len(2),
+        ),
+    )
+    .unwrap();
+    for err in [
+        solve_sofda(&inst, &SofdaConfig::default()).unwrap_err(),
+        solve_sofda_ss(&inst, &SofdaConfig::default()).unwrap_err(),
+        sof::baselines::solve_st(&inst, &SofdaConfig::default()).unwrap_err(),
+        sof::baselines::solve_est(&inst, &SofdaConfig::default()).unwrap_err(),
+        sof::baselines::solve_enemp(&inst, &SofdaConfig::default()).unwrap_err(),
+        sof::sdn::distributed_sofda(&inst, 2, &SofdaConfig::default()).unwrap_err(),
+    ] {
+        assert!(matches!(err, SolveError::Infeasible(_)), "{err}");
+    }
+    assert_eq!(
+        sof::exact::solve_exact(&inst, 50).unwrap_err(),
+        sof::exact::ExactError::Infeasible
+    );
+    // But with the empty chain the same network is plain multicast: fine.
+    let inst = SofInstance::new(
+        Network::all_switches(line(5)),
+        Request::new(
+            vec![NodeId::new(0)],
+            vec![NodeId::new(4)],
+            ServiceChain::default(),
+        ),
+    )
+    .unwrap();
+    let out = solve_sofda(&inst, &SofdaConfig::default()).unwrap();
+    out.forest.validate(&inst).unwrap();
+    assert_eq!(out.cost.total(), Cost::new(4.0));
+}
+
+#[test]
+fn singleton_network_degenerates_gracefully() {
+    // One node that is simultaneously source and destination, empty chain:
+    // every solver must return the zero-cost forest, not panic.
+    let inst = SofInstance::new(
+        Network::all_switches(Graph::with_nodes(1)),
+        Request::new(
+            vec![NodeId::new(0)],
+            vec![NodeId::new(0)],
+            ServiceChain::default(),
+        ),
+    )
+    .unwrap();
+    for cost in [
+        solve_sofda(&inst, &SofdaConfig::default()).unwrap().cost,
+        solve_sofda_ss(&inst, &SofdaConfig::default()).unwrap().cost,
+        sof::baselines::solve_st(&inst, &SofdaConfig::default())
+            .unwrap()
+            .cost,
+        sof::baselines::solve_est(&inst, &SofdaConfig::default())
+            .unwrap()
+            .cost,
+        sof::baselines::solve_enemp(&inst, &SofdaConfig::default())
+            .unwrap()
+            .cost,
+        sof::sdn::distributed_sofda(&inst, 1, &SofdaConfig::default())
+            .unwrap()
+            .outcome
+            .cost,
+    ] {
+        assert_eq!(cost.total(), Cost::ZERO);
+    }
+    assert_eq!(sof::exact::solve_exact(&inst, 50).unwrap().cost, Cost::ZERO);
+}
+
+#[test]
+fn distributed_rejects_bad_domain_counts() {
+    let mut net = Network::all_switches(line(6));
+    net.make_vm(NodeId::new(2), Cost::new(1.0));
+    let inst = SofInstance::new(
+        net,
+        Request::new(
+            vec![NodeId::new(0)],
+            vec![NodeId::new(5)],
+            ServiceChain::with_len(1),
+        ),
+    )
+    .unwrap();
+    for bad_k in [0, 7, 99] {
+        let err = sof::sdn::distributed_sofda(&inst, bad_k, &SofdaConfig::default()).unwrap_err();
+        assert!(matches!(err, SolveError::Infeasible(_)), "k={bad_k}: {err}");
+    }
 }
 
 #[test]
@@ -136,7 +252,12 @@ fn conflict_heavy_instance_stays_consistent() {
         net,
         Request::new(
             vec![NodeId::new(0), NodeId::new(5), NodeId::new(8)],
-            vec![NodeId::new(1), NodeId::new(3), NodeId::new(6), NodeId::new(9)],
+            vec![
+                NodeId::new(1),
+                NodeId::new(3),
+                NodeId::new(6),
+                NodeId::new(9),
+            ],
             ServiceChain::with_len(2),
         ),
     )
@@ -145,6 +266,9 @@ fn conflict_heavy_instance_stays_consistent() {
         let out = solve_sofda(&inst, &SofdaConfig::default().with_seed(seed)).unwrap();
         out.forest.validate(&inst).unwrap();
         assert!(out.forest.enabled_vms().is_ok());
-        assert_eq!(out.stats.conflicts.fallbacks, 0, "fallback fired on seed {seed}");
+        assert_eq!(
+            out.stats.conflicts.fallbacks, 0,
+            "fallback fired on seed {seed}"
+        );
     }
 }

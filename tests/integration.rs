@@ -104,7 +104,11 @@ fn compiled_rules_deliver_on_real_topologies() {
             let inst = build_instance(&topo, &small_params(seed));
             let out = solve_sofda(&inst, &SofdaConfig::default()).unwrap();
             let rules = RuleTable::compile(&out.forest);
-            assert!(rules.delivers(&inst.network, &out.forest), "{} seed {seed}", topo.name);
+            assert!(
+                rules.delivers(&inst.network, &out.forest),
+                "{} seed {seed}",
+                topo.name
+            );
         }
     }
 }
@@ -118,8 +122,14 @@ fn distributed_controllers_agree_with_centralized() {
     let central = solve_sofda(&inst, &SofdaConfig::default()).unwrap();
     let dist = distributed_sofda(&inst, 4, &SofdaConfig::default()).unwrap();
     dist.outcome.forest.validate(&inst).unwrap();
-    let (c, d) = (central.cost.total().value(), dist.outcome.cost.total().value());
-    assert!(d <= c * 1.6 + 1e-9 && c <= d * 1.6 + 1e-9, "centralized {c} vs distributed {d}");
+    let (c, d) = (
+        central.cost.total().value(),
+        dist.outcome.cost.total().value(),
+    );
+    assert!(
+        d <= c * 1.6 + 1e-9 && c <= d * 1.6 + 1e-9,
+        "centralized {c} vs distributed {d}"
+    );
 }
 
 #[test]
@@ -150,7 +160,14 @@ fn qoe_pipeline_prefers_better_embeddings() {
         let mut caps: HashMap<sof::graph::EdgeId, f64> = HashMap::new();
         for (e, edge) in inst.network.graph().edges() {
             let stub = edge.u.index() >= 14 || edge.v.index() >= 14;
-            caps.insert(e, if stub { 1000.0 } else { rng.range_f64(4.5, 9.0) });
+            caps.insert(
+                e,
+                if stub {
+                    1000.0
+                } else {
+                    rng.range_f64(4.5, 9.0)
+                },
+            );
         }
         for (slot, out) in [
             solve_sofda(&inst, &SofdaConfig::default()).unwrap(),
@@ -160,7 +177,10 @@ fn qoe_pipeline_prefers_better_embeddings() {
         .enumerate()
         {
             // Multicast: one session per service tree.
-            let mut by_tree: std::collections::BTreeMap<NodeId, std::collections::BTreeSet<sof::graph::EdgeId>> = Default::default();
+            let mut by_tree: std::collections::BTreeMap<
+                NodeId,
+                std::collections::BTreeSet<sof::graph::EdgeId>,
+            > = Default::default();
             for w in &out.forest.walks {
                 let entry = by_tree.entry(w.source).or_default();
                 for p in w.nodes.windows(2) {
@@ -171,7 +191,9 @@ fn qoe_pipeline_prefers_better_embeddings() {
             }
             let sessions: Vec<Session> = by_tree
                 .values()
-                .map(|links| Session { links: links.iter().copied().collect() })
+                .map(|links| Session {
+                    links: links.iter().copied().collect(),
+                })
                 .collect();
             let qoe = simulate_sessions(
                 &sessions,

@@ -5,7 +5,14 @@ use sof::core::{solve_sofda, Network, Request, ServiceChain, SofInstance, SofdaC
 use sof::graph::{generators, Cost, CostRange, NodeId, Rng64};
 use sof::kstroll::{exact_stroll, greedy_stroll, DenseMetric};
 
-fn random_instance(seed: u64, n: usize, vms: usize, srcs: usize, dsts: usize, chain: usize) -> SofInstance {
+fn random_instance(
+    seed: u64,
+    n: usize,
+    vms: usize,
+    srcs: usize,
+    dsts: usize,
+    chain: usize,
+) -> SofInstance {
     let mut rng = Rng64::seed_from(seed);
     let g = generators::gnp_connected(n, 0.2, CostRange::new(1.0, 9.0), &mut rng);
     let mut net = Network::all_switches(g);
@@ -16,8 +23,14 @@ fn random_instance(seed: u64, n: usize, vms: usize, srcs: usize, dsts: usize, ch
     SofInstance::new(
         net,
         Request::new(
-            picks[vms..vms + srcs].iter().map(|&i| NodeId::new(i)).collect(),
-            picks[vms + srcs..].iter().map(|&i| NodeId::new(i)).collect(),
+            picks[vms..vms + srcs]
+                .iter()
+                .map(|&i| NodeId::new(i))
+                .collect(),
+            picks[vms + srcs..]
+                .iter()
+                .map(|&i| NodeId::new(i))
+                .collect(),
             ServiceChain::with_len(chain),
         ),
     )

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `crossbeam` crate, backed by `std::sync::mpsc`.
+//!
+//! Only the unbounded-channel surface used by `sof_sdn` is provided. The
+//! std channel is MPSC rather than MPMC, which is sufficient here: no
+//! receiver is ever cloned. Swap the path dependency for the real
+//! crates.io package to get the full crossbeam API.
+
+/// Unbounded FIFO channels (`crossbeam::channel` stand-in).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Creates an unbounded channel, mirroring `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the minimal surface the sources use: the
+//! `Serialize` / `Deserialize` marker traits (blanket-implemented) and
+//! the derive macros (which accept `#[serde(...)]` helper attributes and
+//! expand to nothing). Swap the `serde` path dependency for the real
+//! crates.io package to get actual serialization support; no source
+//! changes are needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,17 @@
+//! No-op derive macros backing the vendored `serde` stand-in.
+//!
+//! The traits in `vendor/serde` are blanket-implemented, so the derives
+//! only need to exist (and accept `#[serde(...)]` helper attributes);
+//! they expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
