@@ -228,6 +228,60 @@ pub fn solve_enemp(
     finish(instance, forest, stats)
 }
 
+/// **ST** behind the [`sof_core::Solver`] trait.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct St;
+
+impl sof_core::Solver for St {
+    fn name(&self) -> &'static str {
+        "ST"
+    }
+
+    fn solve(
+        &self,
+        instance: &SofInstance,
+        config: &SofdaConfig,
+    ) -> Result<SolveOutcome, SolveError> {
+        solve_st(instance, config)
+    }
+}
+
+/// **eST** behind the [`sof_core::Solver`] trait.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Est;
+
+impl sof_core::Solver for Est {
+    fn name(&self) -> &'static str {
+        "eST"
+    }
+
+    fn solve(
+        &self,
+        instance: &SofInstance,
+        config: &SofdaConfig,
+    ) -> Result<SolveOutcome, SolveError> {
+        solve_est(instance, config)
+    }
+}
+
+/// **eNEMP** behind the [`sof_core::Solver`] trait.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Enemp;
+
+impl sof_core::Solver for Enemp {
+    fn name(&self) -> &'static str {
+        "eNEMP"
+    }
+
+    fn solve(
+        &self,
+        instance: &SofInstance,
+        config: &SofdaConfig,
+    ) -> Result<SolveOutcome, SolveError> {
+        solve_enemp(instance, config)
+    }
+}
+
 fn finish(
     instance: &SofInstance,
     mut forest: sof_core::ServiceForest,

@@ -1,35 +1,33 @@
 //! Fig. 10: synthetic Inet network sweeps (5000 nodes / 10000 links).
-use sof_bench::{average, print_header, print_row, Algo, Args};
-use sof_core::SofdaConfig;
-use sof_topo::{build_instance, inet_synthetic, ScenarioParams};
+use sof_bench::{run_comparison_sweeps, Args};
+use sof_topo::{inet_sized, inet_synthetic};
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::parse(
+        "fig10 — synthetic Inet network sweeps",
+        &[
+            ("seeds", "averaging width (default 2)"),
+            ("seed", "base RNG seed (default 3000)"),
+            (
+                "nodes",
+                "network size (default 5000; links = 2×, DCs = 2/5×)",
+            ),
+            (
+                "limit",
+                "truncate every sweep to its first N values (default 0 = all)",
+            ),
+        ],
+    );
     let seeds: u64 = args.seeds(2);
     let base: u64 = args.get("seed", 3000);
-    println!("# Fig. 10 — Inet synthetic network (seeds = {seeds})");
-    let topo = inet_synthetic(base);
-    let sweeps = sof_bench::standard_sweeps();
-    for (name, values, apply) in sweeps {
-        println!("\n## Fig. 10 — cost vs {name} (Inet)\n");
-        let algos = Algo::comparison_set(false);
-        let mut hdr = vec![name];
-        hdr.extend(algos.iter().map(|a| a.name()));
-        print_header(&hdr);
-        for &v in &values {
-            let mut cells = vec![v.to_string()];
-            for &algo in &algos {
-                let make = |seed: u64| {
-                    let mut p = ScenarioParams::paper_defaults().with_seed(seed);
-                    apply(&mut p, v);
-                    build_instance(&topo, &p)
-                };
-                match average(algo, seeds, base, &SofdaConfig::default(), make) {
-                    Some((c, _, _)) => cells.push(format!("{c:.1}")),
-                    None => cells.push("-".into()),
-                }
-            }
-            print_row(&cells);
-        }
-    }
+    let nodes: usize = args.get("nodes", 5000);
+    let limit: usize = args.get("limit", 0);
+    println!("# Fig. 10 — Inet synthetic network ({nodes} nodes, seeds = {seeds})");
+    let topo = if nodes == 5000 {
+        inet_synthetic(base) // the paper's exact 5000/10000/2000 network
+    } else {
+        inet_sized(nodes, nodes * 2, (nodes * 2) / 5, base)
+    };
+    let algos = sof_solvers::comparison_set(false);
+    run_comparison_sweeps("Fig. 10", &topo, "Inet", &algos, seeds, base, limit);
 }

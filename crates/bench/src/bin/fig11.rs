@@ -1,31 +1,52 @@
 //! Fig. 11: impact of the VM setup-cost multiple (cost and used VMs).
-use sof_bench::{average, print_header, print_row, Algo, Args};
-use sof_core::SofdaConfig;
+use sof_bench::{average, print_header, print_row, Args};
+use sof_core::{Sofda, SofdaConfig};
 use sof_topo::{build_instance, softlayer, ScenarioParams};
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::parse(
+        "fig11 — VM setup-cost multiple × chain length (SOFDA on SoftLayer)",
+        &[
+            ("seeds", "averaging width (default 5)"),
+            ("seed", "base RNG seed (default 4000)"),
+            (
+                "limit",
+                "truncate multiples and chain lengths to N values (default 0 = all)",
+            ),
+        ],
+    );
     let seeds: u64 = args.seeds(5);
     let base: u64 = args.get("seed", 4000);
+    let limit: usize = args.get("limit", 0);
+    let cut = |v: &[usize]| -> Vec<usize> {
+        let n = if limit > 0 {
+            limit.min(v.len())
+        } else {
+            v.len()
+        };
+        v[..n].to_vec()
+    };
+    let multiples: Vec<usize> = cut(&[1, 3, 5, 7, 9]);
+    let chains: Vec<usize> = cut(&[3, 4, 5, 6, 7]);
     let topo = softlayer();
     println!("# Fig. 11 — setup-cost multiple × chain length (SOFDA, SoftLayer, seeds = {seeds})");
     for metric in ["cost", "used VMs"] {
         println!("\n## Fig. 11 — {metric}\n");
         let mut hdr = vec!["multiple".to_string()];
-        hdr.extend((3..=7).map(|c| format!("|C|={c}")));
+        hdr.extend(chains.iter().map(|c| format!("|C|={c}")));
         let hdr_ref: Vec<&str> = hdr.iter().map(String::as_str).collect();
         print_header(&hdr_ref);
-        for mult in [1.0, 3.0, 5.0, 7.0, 9.0] {
-            let mut cells = vec![format!("{mult:.0}x")];
-            for chain in 3..=7usize {
+        for &mult in &multiples {
+            let mut cells = vec![format!("{mult}x")];
+            for &chain in &chains {
                 let make = |seed: u64| {
                     let mut p = ScenarioParams::paper_defaults().with_seed(seed);
                     p.chain_len = chain;
-                    p.setup_scale = mult;
+                    p.setup_scale = mult as f64;
                     build_instance(&topo, &p)
                 };
-                let (c, vms, _) = average(Algo::Sofda, seeds, base, &SofdaConfig::default(), make)
-                    .expect("feasible");
+                let (c, vms, _) =
+                    average(&Sofda, seeds, base, &SofdaConfig::default(), make).expect("feasible");
                 cells.push(if metric == "cost" {
                     format!("{c:.1}")
                 } else {

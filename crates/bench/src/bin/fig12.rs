@@ -1,61 +1,201 @@
-//! Fig. 12: online deployment — accumulative cost as requests arrive.
-use sof_bench::{print_header, print_row, Algo, Args};
-use sof_core::{LoadTracker, SofInstance, SofdaConfig};
-use sof_sim::{RequestStream, WorkloadParams};
+//! Fig. 12: online deployment — accumulative cost as one long-lived
+//! multicast group churns, comparing from-scratch re-embedding (the seed
+//! behavior) against the incremental `OnlineSession` engine (§VII-C
+//! dynamics + drift-bounded rebuilds).
+use sof_bench::{print_header, print_row, Args};
+use sof_core::{EmbedMode, OnlineConfig, OnlineSession, Sofda, SofdaConfig};
+use sof_sim::{ChurnParams, ChurnStream};
 use sof_topo::{build_instance, cogent, softlayer, ScenarioParams, Topology};
 
-fn online(topo: &Topology, params: WorkloadParams, requests: usize, seed: u64) {
-    println!("\n## Fig. 12 — {} ({requests} arrivals)\n", topo.name);
-    let algos = Algo::comparison_set(false);
+/// Per-session timing: embedding milliseconds split by how each arrival
+/// was served.
+#[derive(Default)]
+struct Timing {
+    solve_ms: f64,
+    solve_n: usize,
+    inc_ms: f64,
+    inc_n: usize,
+}
+
+impl Timing {
+    fn total_ms(&self) -> f64 {
+        self.solve_ms + self.inc_ms
+    }
+}
+
+fn online(
+    topo: &Topology,
+    churn: ChurnParams,
+    requests: usize,
+    seed: u64,
+    scratch: bool,
+    drift: f64,
+) {
+    if requests == 0 {
+        println!(
+            "\n## Fig. 12 — {} (0 arrivals requested — skipped)",
+            topo.name
+        );
+        return;
+    }
+    println!(
+        "\n## Fig. 12 — {} ({requests} arrivals, viewer churn{})\n",
+        topo.name,
+        if scratch {
+            ""
+        } else {
+            "; from-scratch baseline skipped, pass --scratch 2 to run it"
+        }
+    );
+    let mut stream = ChurnStream::new(churn, topo.graph.node_count(), seed);
+    let mut events = vec![stream.current().clone()];
+    while events.len() < requests {
+        events.push(stream.next_request());
+    }
+    let make_instance = || {
+        let mut p = ScenarioParams::paper_defaults().with_seed(seed);
+        p.vm_count = topo.dc_nodes.len() * 5; // 5 VMs per data center
+        p.chain_len = churn.base.chain_len;
+        build_instance(topo, &p)
+    };
+    let opts = OnlineConfig {
+        demand_mbps: stream.demand(),
+        rebuild_drift: drift,
+        ..OnlineConfig::default()
+    };
+
+    // One standing forest per solver; from-scratch SOFDA is the baseline.
+    let mut labels: Vec<String> = Vec::new();
+    let mut sessions: Vec<OnlineSession> = Vec::new();
+    if scratch {
+        labels.push("SOFDA (scratch)".into());
+        sessions.push(OnlineSession::new(
+            make_instance(),
+            Box::new(Sofda),
+            SofdaConfig::default().with_seed(seed),
+            opts.with_mode(EmbedMode::FromScratch),
+        ));
+    }
+    for solver in sof_solvers::comparison_set(false) {
+        labels.push(solver.name().into());
+        sessions.push(OnlineSession::new(
+            make_instance(),
+            solver,
+            SofdaConfig::default().with_seed(seed),
+            opts,
+        ));
+    }
+
     let mut hdr = vec!["#arrivals"];
-    hdr.extend(algos.iter().map(|a| a.name()));
+    hdr.extend(labels.iter().map(String::as_str));
     print_header(&hdr);
-    // Independent network state per algorithm.
-    let mut states: Vec<(SofInstance, LoadTracker, f64)> = algos
-        .iter()
-        .map(|_| {
-            let mut p = ScenarioParams::paper_defaults().with_seed(seed);
-            p.vm_count = topo.dc_nodes.len() * 5; // 5 VMs per data center
-            p.chain_len = params.chain_len;
-            let inst = build_instance(topo, &p);
-            let tracker = LoadTracker::new(&inst.network, 100.0, 5.0);
-            (inst, tracker, 0.0)
-        })
-        .collect();
-    let mut stream = RequestStream::new(params, topo.graph.node_count(), seed);
-    for arrival in 1..=requests {
-        let request = stream.next_request();
-        for (ai, &algo) in algos.iter().enumerate() {
-            let (inst, tracker, acc) = &mut states[ai];
-            inst.request = request.clone();
-            tracker.refresh_costs(&mut inst.network);
-            if let Some(r) = sof_bench::run(algo, inst, &SofdaConfig::default().with_seed(seed)) {
-                let forest = r.outcome.expect("present").forest;
-                tracker.apply_forest(&inst.network, &forest, stream.demand());
-                *acc += r.cost;
+    let mut timings: Vec<Timing> = sessions.iter().map(|_| Timing::default()).collect();
+    let mut failures = 0usize;
+    for (ai, request) in events.iter().enumerate() {
+        let arrival = ai + 1;
+        for (si, session) in sessions.iter_mut().enumerate() {
+            match session.arrive(request.clone()) {
+                Ok(report) => {
+                    let t = &mut timings[si];
+                    if report.rebuilt {
+                        t.solve_ms += report.millis;
+                        t.solve_n += 1;
+                    } else {
+                        t.inc_ms += report.millis;
+                        t.inc_n += 1;
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!(
+                        "warning: {} failed on {} arrival {arrival}: {e}",
+                        labels[si], topo.name
+                    );
+                }
             }
         }
-        if arrival % 5 == 0 || arrival == requests {
+        if arrival % 5 == 0 || arrival == events.len() {
             let mut cells = vec![arrival.to_string()];
-            for (_, _, acc) in &states {
-                cells.push(format!("{acc:.0}"));
+            for session in &sessions {
+                cells.push(format!("{:.0}", session.accumulated_cost()));
             }
             print_row(&cells);
+        }
+    }
+
+    println!("\nEmbedding time per session:");
+    for ((label, session), t) in labels.iter().zip(&sessions).zip(&timings) {
+        let st = session.stats();
+        println!(
+            "- {label}: {:.2} s ({} full solves, {} incremental events, {} joins, {} leaves, {} fallbacks)",
+            t.total_ms() / 1e3,
+            st.full_solves,
+            st.incremental_events,
+            st.joins,
+            st.leaves,
+            st.fallbacks
+        );
+    }
+    // The incremental SOFDA session right after the optional scratch one.
+    let inc = &timings[usize::from(scratch)];
+    if inc.solve_n > 0 && inc.inc_n > 0 {
+        let per_solve = inc.solve_ms / inc.solve_n as f64;
+        let per_inc = inc.inc_ms / inc.inc_n as f64;
+        println!(
+            "\nPer-event embedding (SOFDA): full solve ≈ {per_solve:.0} ms vs incremental ≈ {per_inc:.2} ms ({:.0}× per event)",
+            per_solve / per_inc.max(1e-9)
+        );
+    }
+    if scratch {
+        if failures == 0 {
+            let speedup = timings[0].total_ms() / timings[1].total_ms().max(1e-9);
+            println!("End-to-end incremental speedup (SOFDA, embedding time): {speedup:.1}×");
+        } else {
+            println!(
+                "End-to-end speedup not reported: {failures} arrival(s) failed (see warnings)"
+            );
         }
     }
 }
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::parse(
+        "fig12 — online deployment under viewer churn: from-scratch vs incremental re-embedding",
+        &[
+            ("seed", "base RNG seed (default 5000)"),
+            ("requests-softlayer", "SoftLayer arrival count (default 30)"),
+            ("requests-cogent", "Cogent arrival count (default 45)"),
+            (
+                "scratch",
+                "from-scratch baseline: 0 = never, 1 = SoftLayer only, 2 = both (default 1 — \
+                 the full Cogent from-scratch trajectory alone takes ~4 min)",
+            ),
+            (
+                "drift",
+                "rebuild when churn since last solve reaches drift × |D| (default 2.0)",
+            ),
+        ],
+    );
     let seed: u64 = args.get("seed", 5000);
     let softlayer_reqs: usize = args.get("requests-softlayer", 30);
     let cogent_reqs: usize = args.get("requests-cogent", 45);
-    println!("# Fig. 12 — online deployment (accumulative cost)");
+    let scratch: usize = args.get("scratch", 1);
+    let drift: f64 = args.get("drift", 2.0);
+    println!("# Fig. 12 — online deployment (accumulative cost, viewer churn)");
     online(
         &softlayer(),
-        WorkloadParams::softlayer(),
+        ChurnParams::softlayer(),
         softlayer_reqs,
         seed,
+        scratch >= 1,
+        drift,
     );
-    online(&cogent(), WorkloadParams::cogent(), cogent_reqs, seed);
+    online(
+        &cogent(),
+        ChurnParams::cogent(),
+        cogent_reqs,
+        seed,
+        scratch >= 2,
+        drift,
+    );
 }

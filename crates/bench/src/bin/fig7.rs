@@ -1,7 +1,11 @@
 //! Fig. 7: the convex Fortz–Thorup cost function (p = 1).
-use sof_bench::{print_header, print_row};
+use sof_bench::{print_header, print_row, Args};
 
 fn main() {
+    let _ = Args::parse(
+        "fig7 — the convex Fortz–Thorup cost function (capacity p = 1)",
+        &[],
+    );
     println!("# Fig. 7 — cost function (capacity p = 1)\n");
     print_header(&["load", "cost"]);
     for i in 0..=24 {

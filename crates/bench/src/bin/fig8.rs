@@ -1,75 +1,36 @@
 //! Fig. 8: SoftLayer one-time deployment sweeps (incl. the exact column).
-use sof_bench::{average, print_header, print_row, Algo, Args};
-use sof_core::SofdaConfig;
-use sof_topo::{build_instance, softlayer, ScenarioParams};
-
-fn sweep(
-    name: &str,
-    values: &[usize],
-    seeds: u64,
-    base: u64,
-    with_exact: bool,
-    apply: impl Fn(&mut ScenarioParams, usize),
-) {
-    println!("\n## Fig. 8 — cost vs {name} (SoftLayer)\n");
-    let algos = Algo::comparison_set(with_exact);
-    let mut hdr = vec![name];
-    hdr.extend(algos.iter().map(|a| a.name()));
-    print_header(&hdr);
-    let topo = softlayer();
-    for &v in values {
-        let mut cells = vec![v.to_string()];
-        for &algo in &algos {
-            let make = |seed: u64| {
-                let mut p = ScenarioParams::paper_defaults().with_seed(seed);
-                apply(&mut p, v);
-                build_instance(&topo, &p)
-            };
-            match average(algo, seeds, base, &SofdaConfig::default(), make) {
-                Some((c, _, _)) => cells.push(format!("{c:.1}")),
-                None => cells.push("-".into()),
-            }
-        }
-        print_row(&cells);
-    }
-}
+use sof_bench::{run_comparison_sweeps, Args};
+use sof_topo::softlayer;
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::parse(
+        "fig8 — SoftLayer one-time deployment sweeps (incl. the exact \"CPLEX\" column)",
+        &[
+            ("seeds", "averaging width (default 5)"),
+            ("seed", "base RNG seed (default 1000)"),
+            (
+                "exact",
+                "1 = include the exact column, 0 = skip it (default 1)",
+            ),
+            (
+                "limit",
+                "truncate every sweep to its first N values (default 0 = all)",
+            ),
+        ],
+    );
     let seeds: u64 = args.seeds(5);
     let base: u64 = args.get("seed", 1000);
     let exact: usize = args.get("exact", 1);
+    let limit: usize = args.get("limit", 0);
     println!("# Fig. 8 — SoftLayer one-time deployment (seeds = {seeds})");
-    sweep(
-        "#sources",
-        &[2, 8, 14, 20, 26],
+    let algos = sof_solvers::comparison_set(exact == 1);
+    run_comparison_sweeps(
+        "Fig. 8",
+        &softlayer(),
+        "SoftLayer",
+        &algos,
         seeds,
         base,
-        exact == 1,
-        |p, v| p.sources = v,
-    );
-    sweep(
-        "#destinations",
-        &[2, 4, 6, 8, 10],
-        seeds,
-        base,
-        exact == 1,
-        |p, v| p.destinations = v,
-    );
-    sweep(
-        "#VMs",
-        &[5, 15, 25, 35, 45],
-        seeds,
-        base,
-        exact == 1,
-        |p, v| p.vm_count = v,
-    );
-    sweep(
-        "chain length",
-        &[3, 4, 5, 6, 7],
-        seeds,
-        base,
-        exact == 1,
-        |p, v| p.chain_len = v,
+        limit,
     );
 }

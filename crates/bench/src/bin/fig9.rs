@@ -1,35 +1,23 @@
 //! Fig. 9: Cogent one-time deployment sweeps.
-use sof_bench::{average, print_header, print_row, Algo, Args};
-use sof_core::SofdaConfig;
-use sof_topo::{build_instance, cogent, ScenarioParams};
+use sof_bench::{run_comparison_sweeps, Args};
+use sof_topo::cogent;
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::parse(
+        "fig9 — Cogent one-time deployment sweeps",
+        &[
+            ("seeds", "averaging width (default 5)"),
+            ("seed", "base RNG seed (default 2000)"),
+            (
+                "limit",
+                "truncate every sweep to its first N values (default 0 = all)",
+            ),
+        ],
+    );
     let seeds: u64 = args.seeds(5);
     let base: u64 = args.get("seed", 2000);
+    let limit: usize = args.get("limit", 0);
     println!("# Fig. 9 — Cogent one-time deployment (seeds = {seeds})");
-    let topo = cogent();
-    let sweeps = sof_bench::standard_sweeps();
-    for (name, values, apply) in sweeps {
-        println!("\n## Fig. 9 — cost vs {name} (Cogent)\n");
-        let algos = Algo::comparison_set(false);
-        let mut hdr = vec![name];
-        hdr.extend(algos.iter().map(|a| a.name()));
-        print_header(&hdr);
-        for &v in &values {
-            let mut cells = vec![v.to_string()];
-            for &algo in &algos {
-                let make = |seed: u64| {
-                    let mut p = ScenarioParams::paper_defaults().with_seed(seed);
-                    apply(&mut p, v);
-                    build_instance(&topo, &p)
-                };
-                match average(algo, seeds, base, &SofdaConfig::default(), make) {
-                    Some((c, _, _)) => cells.push(format!("{c:.1}")),
-                    None => cells.push("-".into()),
-                }
-            }
-            print_row(&cells);
-        }
-    }
+    let algos = sof_solvers::comparison_set(false);
+    run_comparison_sweeps("Fig. 9", &cogent(), "Cogent", &algos, seeds, base, limit);
 }

@@ -1,11 +1,21 @@
 //! Table I: SOFDA running time (seconds) vs network size and source count.
-use sof_bench::{print_header, print_row, Algo, Args};
-use sof_core::SofdaConfig;
+use sof_bench::{print_header, print_row, Args};
+use sof_core::{Sofda, SofdaConfig};
 use sof_topo::{build_instance, inet_sized, ScenarioParams};
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::parse(
+        "table1 — SOFDA running time vs network size and source count",
+        &[
+            ("seed", "base RNG seed (default 6000)"),
+            (
+                "max-nodes",
+                "largest network size to measure (default 5000)",
+            ),
+        ],
+    );
     let seed: u64 = args.get("seed", 6000);
+    let max_nodes: usize = args.get("max-nodes", 5000);
     println!("# Table I — SOFDA running time (seconds)\n");
     let sources = [2usize, 8, 14, 20, 26];
     let mut hdr = vec!["|V|".to_string()];
@@ -13,6 +23,9 @@ fn main() {
     let hdr_ref: Vec<&str> = hdr.iter().map(String::as_str).collect();
     print_header(&hdr_ref);
     for nodes in [1000usize, 2000, 3000, 4000, 5000] {
+        if nodes > max_nodes {
+            break;
+        }
         let links = nodes * 2;
         let dcs = (nodes * 2) / 5;
         let topo = inet_sized(nodes, links, dcs, seed);
@@ -21,7 +34,7 @@ fn main() {
             let mut p = ScenarioParams::paper_defaults().with_seed(seed + s as u64);
             p.sources = s;
             let inst = build_instance(&topo, &p);
-            let r = sof_bench::run(Algo::Sofda, &inst, &SofdaConfig::default()).expect("feasible");
+            let r = sof_bench::run(&Sofda, &inst, &SofdaConfig::default()).expect("feasible");
             cells.push(format!("{:.2}", r.millis / 1e3));
         }
         print_row(&cells);

@@ -1,5 +1,5 @@
 //! Table II: testbed QoE — startup latency and rebuffering per algorithm.
-use sof_bench::{print_header, print_row, Algo, Args};
+use sof_bench::{print_header, print_row, Args};
 use sof_core::{ServiceChain, SofdaConfig};
 use sof_graph::{Cost, NodeId, Rng64};
 use sof_sim::{simulate_sessions, EnvironmentProfile, PlayerConfig, Session};
@@ -7,7 +7,13 @@ use sof_topo::testbed;
 use std::collections::HashMap;
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::parse(
+        "table2 — testbed QoE (startup latency / rebuffering) per algorithm",
+        &[
+            ("seeds", "averaging width (default 10)"),
+            ("seed", "base RNG seed (default 7000)"),
+        ],
+    );
     let seeds: u64 = args.seeds(10);
     let base: u64 = args.get("seed", 7000);
     println!("# Table II — testbed QoE (2 sources, 4 destinations, transcoder→watermark)\n");
@@ -18,9 +24,9 @@ fn main() {
         "Rebuffer (ours)",
         "Rebuffer (emulab)",
     ]);
-    let algos = [Algo::Sofda, Algo::Enemp, Algo::Est];
+    let algos = ["SOFDA", "eNEMP", "eST"].map(|n| sof_solvers::by_name(n).expect("registered"));
     let player = PlayerConfig::default();
-    for algo in algos {
+    for algo in &algos {
         let mut sums = [0.0f64; 4];
         let mut n = 0.0;
         for i in 0..seeds {
@@ -44,8 +50,11 @@ fn main() {
                 ),
             )
             .expect("valid instance");
-            let Some(r) = sof_bench::run(algo, &inst, &SofdaConfig::default().with_seed(seed))
-            else {
+            let Some(r) = sof_bench::run(
+                algo.as_ref(),
+                &inst,
+                &SofdaConfig::default().with_seed(seed),
+            ) else {
                 continue;
             };
             let forest = r.outcome.expect("present").forest;

@@ -9,18 +9,20 @@
 //! | `fig9` | Cogent sweeps |
 //! | `fig10` | Inet-synthetic sweeps |
 //! | `fig11` | setup-cost multiple × chain length |
-//! | `fig12` | online deployment accumulative cost |
+//! | `fig12` | online deployment: from-scratch vs incremental re-embedding |
 //! | `table1` | SOFDA running time vs network size and source count |
 //! | `table2` | testbed QoE (startup latency / rebuffering) |
 //!
-//! Every binary accepts `--seeds N` (averaging width) and `--seed S`
-//! (base seed) and prints markdown tables; all runs are deterministic.
+//! Algorithms come from the [`sof_solvers`] registry (the [`Solver`]
+//! trait), so adding a solver to the registry adds it to every harness.
+//! Every binary prints markdown tables, rejects unknown flags, and
+//! answers `--help` with its exact flag set (most take `--seed S`, the
+//! averaging ones also `--seeds N`); all runs are deterministic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sof_baselines::{solve_enemp, solve_est, solve_st};
-use sof_core::{SofInstance, SofdaConfig, SolveOutcome};
+use sof_core::{SofInstance, SofdaConfig, Solver};
 use std::time::Instant;
 
 /// A parameter sweep: axis label, swept values, and the setter applying a
@@ -31,67 +33,75 @@ pub type Sweep = (
     Box<dyn Fn(&mut sof_topo::ScenarioParams, usize)>,
 );
 
-/// The standard one-time-deployment sweep grid shared by Figs. 9-10:
+/// The standard one-time-deployment sweep grid shared by Figs. 8-10:
 /// #sources / #destinations / #VMs / chain length over the paper's ranges.
-pub fn standard_sweeps() -> Vec<Sweep> {
+/// `limit` truncates every axis to its first `limit` values (`0` = all) —
+/// the knob CI smoke runs use.
+pub fn standard_sweeps(limit: usize) -> Vec<Sweep> {
+    let cut = |mut v: Vec<usize>| {
+        if limit > 0 {
+            v.truncate(limit);
+        }
+        v
+    };
     vec![
         (
             "#sources",
-            vec![2, 8, 14, 20, 26],
-            Box::new(|p: &mut sof_topo::ScenarioParams, v| p.sources = v),
+            cut(vec![2, 8, 14, 20, 26]),
+            Box::new(|p: &mut sof_topo::ScenarioParams, v| p.sources = v) as _,
         ),
         (
             "#destinations",
-            vec![2, 4, 6, 8, 10],
-            Box::new(|p, v| p.destinations = v),
+            cut(vec![2, 4, 6, 8, 10]),
+            Box::new(|p: &mut sof_topo::ScenarioParams, v| p.destinations = v) as _,
         ),
         (
             "#VMs",
-            vec![5, 15, 25, 35, 45],
-            Box::new(|p, v| p.vm_count = v),
+            cut(vec![5, 15, 25, 35, 45]),
+            Box::new(|p: &mut sof_topo::ScenarioParams, v| p.vm_count = v) as _,
         ),
         (
             "chain length",
-            vec![3, 4, 5, 6, 7],
-            Box::new(|p, v| p.chain_len = v),
+            cut(vec![3, 4, 5, 6, 7]),
+            Box::new(|p: &mut sof_topo::ScenarioParams, v| p.chain_len = v) as _,
         ),
     ]
 }
 
-/// Which algorithm to run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Algo {
-    /// The paper's contribution (Algorithm 2).
-    Sofda,
-    /// eNEMP baseline.
-    Enemp,
-    /// eST baseline.
-    Est,
-    /// ST baseline.
-    St,
-    /// Exact solver ("CPLEX" column).
-    Exact,
-}
-
-impl Algo {
-    /// Display name matching the paper's legends.
-    pub fn name(self) -> &'static str {
-        match self {
-            Algo::Sofda => "SOFDA",
-            Algo::Enemp => "eNEMP",
-            Algo::Est => "eST",
-            Algo::St => "ST",
-            Algo::Exact => "CPLEX*",
+/// Runs the standard comparison sweeps (Figs. 8–10) on one topology and
+/// prints a markdown table per axis: every solver in `algos`, averaged
+/// over `seeds` draws from `base`, sweeps truncated to `limit` values
+/// (`0` = all). `fig` is the figure label (e.g. `"Fig. 8"`), `topo_label`
+/// the display name used in headings.
+pub fn run_comparison_sweeps(
+    fig: &str,
+    topo: &sof_topo::Topology,
+    topo_label: &str,
+    algos: &[Box<dyn Solver>],
+    seeds: u64,
+    base: u64,
+    limit: usize,
+) {
+    for (name, values, apply) in standard_sweeps(limit) {
+        println!("\n## {fig} — cost vs {name} ({topo_label})\n");
+        let mut hdr = vec![name];
+        hdr.extend(algos.iter().map(|a| a.name()));
+        print_header(&hdr);
+        for &v in &values {
+            let mut cells = vec![v.to_string()];
+            for algo in algos {
+                let make = |seed: u64| {
+                    let mut p = sof_topo::ScenarioParams::paper_defaults().with_seed(seed);
+                    apply(&mut p, v);
+                    sof_topo::build_instance(topo, &p)
+                };
+                match average(algo.as_ref(), seeds, base, &SofdaConfig::default(), make) {
+                    Some((c, _, _)) => cells.push(format!("{c:.1}")),
+                    None => cells.push("-".into()),
+                }
+            }
+            print_row(&cells);
         }
-    }
-
-    /// The standard comparison set (Figs. 8–10).
-    pub fn comparison_set(with_exact: bool) -> Vec<Algo> {
-        let mut v = vec![Algo::Sofda, Algo::Enemp, Algo::Est, Algo::St];
-        if with_exact {
-            v.push(Algo::Exact);
-        }
-        v
     }
 }
 
@@ -105,42 +115,20 @@ pub struct RunResult {
     /// Wall-clock milliseconds.
     pub millis: f64,
     /// The full outcome (for QoE / rule compilation downstream).
-    pub outcome: Option<SolveOutcome>,
+    pub outcome: Option<sof_core::SolveOutcome>,
 }
 
-/// Runs one algorithm on an instance, validating the result.
+/// Runs one solver on an instance, validating the result.
 ///
-/// Returns `None` when the algorithm reports infeasibility (e.g. the exact
-/// solver on an oversized instance).
-pub fn run(algo: Algo, instance: &SofInstance, config: &SofdaConfig) -> Option<RunResult> {
+/// Returns `None` when the instance exceeds the solver's capability hints
+/// (e.g. the exact solver on an oversized group) or the solver reports
+/// infeasibility.
+pub fn run(solver: &dyn Solver, instance: &SofInstance, config: &SofdaConfig) -> Option<RunResult> {
+    if !solver.supports(instance) {
+        return None;
+    }
     let t0 = Instant::now();
-    let outcome = match algo {
-        Algo::Sofda => sof_core::solve_sofda(instance, config).ok()?,
-        Algo::Enemp => solve_enemp(instance, config).ok()?,
-        Algo::Est => solve_est(instance, config).ok()?,
-        Algo::St => solve_st(instance, config).ok()?,
-        Algo::Exact => {
-            // The DP is 3^|D|; scale the branch-and-bound budget down as
-            // |D| grows to keep the CPLEX substitute at paper-scale cost
-            // (the incumbent is SOFDA-seeded, so cost <= SOFDA still holds).
-            let d = instance.request.destinations.len();
-            if d > 10 {
-                return None;
-            }
-            let budget = match d {
-                0..=6 => 400,
-                7..=8 => 120,
-                _ => 30,
-            };
-            let out = sof_exact::solve_exact(instance, budget).ok()?;
-            let cost = out.forest.cost(&instance.network);
-            SolveOutcome {
-                forest: out.forest,
-                cost,
-                stats: Default::default(),
-            }
-        }
-    };
+    let outcome = solver.solve(instance, config).ok()?;
     let millis = t0.elapsed().as_secs_f64() * 1e3;
     outcome.forest.validate(instance).expect("validated output");
     Some(RunResult {
@@ -151,11 +139,11 @@ pub fn run(algo: Algo, instance: &SofInstance, config: &SofdaConfig) -> Option<R
     })
 }
 
-/// Averages an algorithm over `seeds` instance draws produced by `make`.
+/// Averages a solver over `seeds` instance draws produced by `make`.
 ///
 /// Returns `(mean cost, mean used VMs, mean milliseconds)`.
 pub fn average<F>(
-    algo: Algo,
+    solver: &dyn Solver,
     seeds: u64,
     base_seed: u64,
     config: &SofdaConfig,
@@ -170,7 +158,7 @@ where
     let mut n = 0.0;
     for i in 0..seeds {
         let inst = make(base_seed + i);
-        if let Some(r) = run(algo, &inst, &config.with_seed(base_seed + i)) {
+        if let Some(r) = run(solver, &inst, &config.with_seed(base_seed + i)) {
             cost += r.cost;
             vms += r.used_vms as f64;
             ms += r.millis;
@@ -180,17 +168,84 @@ where
     (n > 0.0).then(|| (cost / n, vms / n, ms / n))
 }
 
-/// Tiny `--flag value` parser for the experiment binaries.
+/// Strict `--flag value` parser for the experiment binaries: every flag
+/// must be declared up front, unknown or value-less flags are errors, and
+/// `--help` prints a per-binary usage text.
+#[derive(Debug)]
 pub struct Args {
-    raw: Vec<String>,
+    values: std::collections::HashMap<String, String>,
+}
+
+/// What [`Args::try_parse`] decided.
+#[derive(Debug)]
+pub enum Parsed {
+    /// Arguments parsed; run the binary.
+    Run(Args),
+    /// `--help` was requested; print the usage text and exit 0.
+    Help(String),
 }
 
 impl Args {
-    /// Captures the process arguments.
-    pub fn capture() -> Args {
-        Args {
-            raw: std::env::args().collect(),
+    /// Parses the process arguments against the declared `flags`
+    /// (`(name, help)` pairs; every flag takes one value). Prints usage and
+    /// exits 0 on `--help`; prints the error and exits 2 on unknown flags,
+    /// missing values, or stray positional arguments.
+    pub fn parse(about: &str, flags: &[(&str, &str)]) -> Args {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        match Args::try_parse(&raw, about, flags) {
+            Ok(Parsed::Run(args)) => args,
+            Ok(Parsed::Help(usage)) => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{}", Args::usage(about, flags));
+                std::process::exit(2);
+            }
         }
+    }
+
+    /// The exit-free core of [`Args::parse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags, flags missing their value, and
+    /// positional arguments.
+    pub fn try_parse(
+        raw: &[String],
+        about: &str,
+        flags: &[(&str, &str)],
+    ) -> Result<Parsed, String> {
+        let mut values = std::collections::HashMap::new();
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            if arg == "--help" || arg == "-h" {
+                return Ok(Parsed::Help(Args::usage(about, flags)));
+            }
+            let name = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected positional argument '{arg}'"))?;
+            if !flags.iter().any(|(f, _)| *f == name) {
+                return Err(format!("unknown flag '--{name}'"));
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag '--{name}' is missing its value"))?;
+            values.insert(name.to_string(), value.clone());
+        }
+        Ok(Parsed::Run(Args { values }))
+    }
+
+    /// The `--help` text for a binary.
+    pub fn usage(about: &str, flags: &[(&str, &str)]) -> String {
+        let mut s = format!("{about}\n\nOptions:\n");
+        let width = flags.iter().map(|(f, _)| f.len()).max().unwrap_or(0);
+        for (flag, help) in flags {
+            s.push_str(&format!("  --{flag:<width$} <value>  {help}\n"));
+        }
+        s.push_str(&format!("  --{:<width$}          print this help", "help"));
+        s
     }
 
     /// Reads `--seeds` (averaging width), clamped to at least 1 because
@@ -199,15 +254,16 @@ impl Args {
         self.get("seeds", default).max(1)
     }
 
-    /// Reads `--name <value>` with a default.
+    /// Reads `--name <value>` with a default. Exits 2 when the supplied
+    /// value does not parse as `T`.
     pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        let flag = format!("--{name}");
-        self.raw
-            .iter()
-            .position(|a| a == &flag)
-            .and_then(|i| self.raw.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        match self.values.get(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid value '{v}' for flag '--{name}'");
+                std::process::exit(2);
+            }),
+        }
     }
 }
 
@@ -231,17 +287,27 @@ mod tests {
     use sof_topo::{build_instance, softlayer, ScenarioParams};
 
     #[test]
-    fn run_all_algorithms_once() {
+    fn run_all_registered_comparison_solvers_once() {
         let topo = softlayer();
         let mut p = ScenarioParams::paper_defaults().with_seed(5);
         p.destinations = 4;
         p.sources = 6;
         p.vm_count = 12;
         let inst = build_instance(&topo, &p);
-        for algo in Algo::comparison_set(true) {
-            let r = run(algo, &inst, &SofdaConfig::default()).expect("feasible");
-            assert!(r.cost > 0.0, "{}", algo.name());
+        for solver in sof_solvers::comparison_set(true) {
+            let r = run(solver.as_ref(), &inst, &SofdaConfig::default()).expect("feasible");
+            assert!(r.cost > 0.0, "{}", solver.name());
         }
+    }
+
+    #[test]
+    fn capability_hints_skip_oversized_instances() {
+        let topo = softlayer();
+        let mut p = ScenarioParams::paper_defaults().with_seed(6);
+        p.destinations = 12; // beyond the exact solver's |D| ≤ 10 envelope
+        let inst = build_instance(&topo, &p);
+        let exact = sof_solvers::by_name("CPLEX*").unwrap();
+        assert!(run(exact.as_ref(), &inst, &SofdaConfig::default()).is_none());
     }
 
     #[test]
@@ -254,8 +320,49 @@ mod tests {
             p.vm_count = 10;
             build_instance(&topo, &p)
         };
-        let a = average(Algo::Sofda, 3, 100, &SofdaConfig::default(), make).unwrap();
-        let b = average(Algo::Sofda, 3, 100, &SofdaConfig::default(), make).unwrap();
+        let sofda = sof_core::Sofda;
+        let a = average(&sofda, 3, 100, &SofdaConfig::default(), make).unwrap();
+        let b = average(&sofda, 3, 100, &SofdaConfig::default(), make).unwrap();
         assert_eq!(a.0, b.0);
+    }
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_reject_unknown_flags_and_positionals() {
+        let flags = [("seed", "base seed"), ("seeds", "averaging width")];
+        let err = Args::try_parse(&strings(&["--sede", "7"]), "t", &flags).unwrap_err();
+        assert!(err.contains("unknown flag '--sede'"), "{err}");
+        let err = Args::try_parse(&strings(&["7"]), "t", &flags).unwrap_err();
+        assert!(err.contains("positional"), "{err}");
+        let err = Args::try_parse(&strings(&["--seed"]), "t", &flags).unwrap_err();
+        assert!(err.contains("missing its value"), "{err}");
+    }
+
+    #[test]
+    fn args_parse_declared_flags_and_help() {
+        let flags = [("seed", "base seed"), ("seeds", "averaging width")];
+        let Parsed::Run(args) =
+            Args::try_parse(&strings(&["--seed", "9", "--seeds", "3"]), "t", &flags).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(args.get("seed", 0u64), 9);
+        assert_eq!(args.seeds(5), 3);
+        // Defaults apply when a flag is absent; zero seeds clamp to 1.
+        let Parsed::Run(args) = Args::try_parse(&strings(&["--seeds", "0"]), "t", &flags).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(args.get("seed", 1000u64), 1000);
+        assert_eq!(args.seeds(5), 1);
+        let Parsed::Help(usage) =
+            Args::try_parse(&strings(&["--help"]), "fig0 — x", &flags).unwrap()
+        else {
+            panic!("expected Help");
+        };
+        assert!(usage.contains("fig0 — x") && usage.contains("--seeds"));
     }
 }

@@ -89,6 +89,16 @@ impl LoadTracker {
         self.edge_load[e.index()]
     }
 
+    /// Capacity of a link.
+    pub fn edge_capacity(&self, e: EdgeId) -> f64 {
+        self.edge_capacity[e.index()]
+    }
+
+    /// Capacity of a node.
+    pub fn node_capacity(&self, v: NodeId) -> f64 {
+        self.node_capacity[v.index()]
+    }
+
     /// Current utilization of a link.
     pub fn edge_utilization(&self, e: EdgeId) -> f64 {
         self.edge_load[e.index()] / self.edge_capacity[e.index()]
@@ -108,6 +118,14 @@ impl LoadTracker {
         for i in 0..self.edge_load.len() {
             self.edge_load[i] = f(EdgeId::new(i)) * self.edge_capacity[i];
         }
+    }
+
+    /// Zeroes every link and node load (capacities are kept). The online
+    /// engine re-derives a standing forest's footprint from scratch each
+    /// round instead of accumulating deltas.
+    pub fn clear_loads(&mut self) {
+        self.edge_load.iter_mut().for_each(|l| *l = 0.0);
+        self.node_load.iter_mut().for_each(|l| *l = 0.0);
     }
 
     /// Adds a deployed forest's demand: `demand` per link per used segment,

@@ -4,7 +4,7 @@
 
 use crate::{DestWalk, ServiceForest, SofInstance};
 use sof_graph::{Cost, NodeId, ShortestPaths};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Errors from dynamic operations.
@@ -54,15 +54,43 @@ pub fn destination_leave(
     Ok(())
 }
 
+/// How [`destination_join_with`] searches for an attach point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Consider every forest node, including ones mid-chain (the remaining
+    /// VNFs are completed by a fresh k-stroll over free VMs). Finds the
+    /// cheapest extension but costs a metric-closure build per candidate.
+    #[default]
+    FullSearch,
+    /// Only attach where the chain is already complete (`f(x) = |C|`), via
+    /// a single shortest-path tree from the new destination. Orders of
+    /// magnitude faster — the hot path of the online engine — and always
+    /// feasible on connected networks with a non-empty forest.
+    TailAttach,
+}
+
 /// §VII-C (2) — connects a new destination to the forest with the cheapest
 /// extension: for every node `x` already in the forest, `f(x)` VNFs are
 /// done, so a walk from `x` to `d` through the remaining `|C| − f(x)` VNFs
 /// (on currently free VMs) completes the chain; the cheapest `(x, walk)` is
 /// chosen. Returns the cost increase.
+///
+/// Equivalent to [`destination_join_with`] under
+/// [`JoinStrategy::FullSearch`].
 pub fn destination_join(
     instance: &mut SofInstance,
     forest: &mut ServiceForest,
     d: NodeId,
+) -> Result<Cost, DynamicsError> {
+    destination_join_with(instance, forest, d, JoinStrategy::FullSearch)
+}
+
+/// [`destination_join`] with an explicit attach-point search strategy.
+pub fn destination_join_with(
+    instance: &mut SofInstance,
+    forest: &mut ServiceForest,
+    d: NodeId,
+    strategy: JoinStrategy,
 ) -> Result<Cost, DynamicsError> {
     if forest.walks.iter().any(|w| w.destination == d) {
         return Err(DynamicsError::AlreadyServed(d));
@@ -83,8 +111,10 @@ pub fn destination_join(
 
     // Candidate attach points: (walk index, position) with progress f(x) =
     // number of VNFs completed at/before that position; keep the best
-    // (largest f) occurrence per node.
-    let mut best_at: HashMap<NodeId, (usize, usize, usize)> = HashMap::new(); // node -> (f, walk, pos)
+    // (largest f) occurrence per node. BTreeMap: equal-cost attach points
+    // must tie-break by node order, not hash order, to keep runs
+    // deterministic.
+    let mut best_at: BTreeMap<NodeId, (usize, usize, usize)> = BTreeMap::new(); // node -> (f, walk, pos)
     for (wi, w) in forest.walks.iter().enumerate() {
         let mut f = 0usize;
         for (pos, &node) in w.nodes.iter().enumerate() {
@@ -104,6 +134,9 @@ pub fn destination_join(
     let mut best: Option<Extension> = None;
     for (&x, &(f, wi, pos)) in &best_at {
         let remaining = chain_len - f;
+        if strategy == JoinStrategy::TailAttach && remaining != 0 {
+            continue;
+        }
         if remaining == 0 {
             // Plain shortest path x → d.
             let cost = sp_from_d.dist(x);
@@ -654,6 +687,34 @@ mod tests {
             vnf_insert(&mut inst, &mut forest, 9, "x").unwrap_err(),
             DynamicsError::BadVnfIndex(9)
         );
+    }
+
+    #[test]
+    fn tail_attach_join_is_feasible_and_no_cheaper_than_full() {
+        for seed in 20..26 {
+            let (inst, forest) = solved(seed);
+            let served = inst.request.destinations.clone();
+            let Some(d) = inst
+                .network
+                .graph()
+                .nodes()
+                .find(|n| !served.contains(n) && !inst.request.sources.contains(n))
+            else {
+                continue;
+            };
+            let (mut inst_tail, mut tail) = (inst.clone(), forest.clone());
+            let added_tail =
+                destination_join_with(&mut inst_tail, &mut tail, d, JoinStrategy::TailAttach)
+                    .unwrap();
+            tail.validate(&inst_tail).unwrap();
+            let (mut inst_full, mut full) = (inst, forest);
+            let added_full =
+                destination_join_with(&mut inst_full, &mut full, d, JoinStrategy::FullSearch)
+                    .unwrap();
+            full.validate(&inst_full).unwrap();
+            // FullSearch considers a superset of TailAttach's candidates.
+            assert!(added_full <= added_tail + Cost::new(1e-9), "seed {seed}");
+        }
     }
 
     #[test]

@@ -21,7 +21,15 @@
 //!   conflict resolution ([`WalkSet`]),
 //! * the Procedure 1 graph transformation ([`ChainMetric`], Lemma 1),
 //! * the convex load-cost model of §VII-B ([`fortz_thorup`], [`LoadTracker`])
-//!   and the dynamic-membership operations of §VII-C ([`dynamics`]).
+//!   and the dynamic-membership operations of §VII-C ([`dynamics`]),
+//! * the object-safe [`Solver`] trait unifying every embedding algorithm
+//!   (implemented here for [`Sofda`] and [`SofdaSs`]; baselines, the exact
+//!   solver and distributed SOFDA implement it in their own crates — the
+//!   `sof_solvers` registry collects them all),
+//! * the incremental [`OnlineSession`] engine powering the online
+//!   deployment scenario (Fig. 12): standing forest, congestion-aware
+//!   costs, §VII-C incremental re-embedding with a drift-bounded rebuild
+//!   fallback.
 //!
 //! # Examples
 //!
@@ -60,15 +68,20 @@ mod cost_model;
 pub mod dynamics;
 mod forest;
 mod instance;
+mod online;
 mod sofda;
 mod sofda_ss;
+mod solver;
 mod transform;
 
 pub use config::{ChainAssignment, SofdaConfig, SolveError, SolveOutcome, SolveStats};
 pub use conflict::{ChainWalk, ConflictError, ConflictStats, WalkSet};
 pub use cost_model::{fortz_thorup, LoadTracker};
+pub use dynamics::JoinStrategy;
 pub use forest::{DestWalk, ForestCost, ForestError, ForestStats, ServiceForest};
 pub use instance::{InstanceError, Network, NodeKind, Request, ServiceChain, SofInstance};
+pub use online::{ArrivalReport, EmbedMode, OnlineConfig, OnlineSession, OnlineStats};
 pub use sofda::solve_sofda;
 pub use sofda_ss::solve_sofda_ss;
+pub use solver::{Sofda, SofdaSs, Solver};
 pub use transform::ChainMetric;

@@ -1,0 +1,558 @@
+//! The incremental online embedding engine behind Fig. 12.
+//!
+//! An [`OnlineSession`] owns a [`SofInstance`], a [`LoadTracker`] and one
+//! standing [`ServiceForest`] driven by a single [`Solver`]. Requests
+//! [`arrive`](OnlineSession::arrive) as successive snapshots of the served
+//! group; instead of re-running the solver from scratch per arrival, the
+//! session diffs the destination sets and re-embeds **incrementally** with
+//! the §VII-C dynamics ([`dynamics::destination_join_with`],
+//! [`dynamics::destination_leave`], [`dynamics::reroute_all`]), falling back
+//! to a full rebuild when accumulated churn drifts past a configurable
+//! threshold — or whenever an incremental step fails or invalidates the
+//! forest.
+//!
+//! # Examples
+//!
+//! ```
+//! use sof_core::{
+//!     Network, OnlineConfig, OnlineSession, Request, ServiceChain, Sofda, SofInstance,
+//!     SofdaConfig,
+//! };
+//! use sof_graph::{Cost, Graph, NodeId};
+//!
+//! let mut g = Graph::with_nodes(8);
+//! for i in 0..8 {
+//!     g.add_edge(NodeId::new(i), NodeId::new((i + 1) % 8), Cost::new(1.0));
+//! }
+//! let mut net = Network::all_switches(g);
+//! net.make_vm(NodeId::new(2), Cost::new(1.0));
+//! let chain = ServiceChain::with_len(1);
+//! let inst = SofInstance::new(
+//!     net,
+//!     Request::new(vec![NodeId::new(0)], vec![NodeId::new(4)], chain.clone()),
+//! )?;
+//! let mut session =
+//!     OnlineSession::new(inst, Box::new(Sofda), SofdaConfig::default(), OnlineConfig::default());
+//! // First arrival embeds from scratch…
+//! let first = session.arrive(Request::new(
+//!     vec![NodeId::new(0)],
+//!     vec![NodeId::new(4)],
+//!     chain.clone(),
+//! ))?;
+//! assert!(first.rebuilt);
+//! // …the next one joins the extra viewer incrementally.
+//! let second = session.arrive(Request::new(
+//!     vec![NodeId::new(0)],
+//!     vec![NodeId::new(4), NodeId::new(6)],
+//!     chain,
+//! ))?;
+//! assert!(!second.rebuilt && second.joined == 1);
+//! session.forest().expect("standing forest").validate(session.instance())?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::dynamics::{self, JoinStrategy};
+use crate::{
+    fortz_thorup, LoadTracker, Request, ServiceForest, SofInstance, SofdaConfig, SolveError, Solver,
+};
+use sof_graph::{Cost, EdgeId, NodeId};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// How the session re-embeds when the served group changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EmbedMode {
+    /// Re-run the solver from scratch on every arrival (the seed behavior
+    /// of Fig. 12; the comparison baseline).
+    FromScratch,
+    /// Diff destination sets and apply §VII-C join/leave operations,
+    /// rebuilding only on drift, source/chain changes, or failures.
+    #[default]
+    Incremental,
+}
+
+/// Tuning knobs for an [`OnlineSession`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OnlineConfig {
+    /// Re-embedding strategy.
+    pub mode: EmbedMode,
+    /// Full-rebuild fallback: rebuild once the destinations churned since
+    /// the last solve reach `rebuild_drift × |D|`. Lower values track the
+    /// solver's quality more closely; higher values are faster.
+    pub rebuild_drift: f64,
+    /// Run [`dynamics::reroute_all`] every this many arrivals, repairing
+    /// routes that congestion made expensive (`0` = never).
+    pub reroute_every: usize,
+    /// Attach-point search for incremental joins.
+    pub join: JoinStrategy,
+    /// Uniform link capacity handed to the [`LoadTracker`] (Mbps).
+    pub link_capacity: f64,
+    /// Uniform VM capacity handed to the [`LoadTracker`] (concurrent VNFs).
+    pub vm_capacity: f64,
+    /// Per-request bandwidth demand (Mbps) charged to the standing forest.
+    pub demand_mbps: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> OnlineConfig {
+        OnlineConfig {
+            mode: EmbedMode::Incremental,
+            rebuild_drift: 2.0,
+            reroute_every: 6,
+            join: JoinStrategy::TailAttach,
+            link_capacity: 100.0,
+            vm_capacity: 5.0,
+            demand_mbps: 5.0,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// Switches the re-embedding mode.
+    pub fn with_mode(mut self, mode: EmbedMode) -> OnlineConfig {
+        self.mode = mode;
+        self
+    }
+
+    /// Replaces the drift threshold.
+    pub fn with_rebuild_drift(mut self, drift: f64) -> OnlineConfig {
+        self.rebuild_drift = drift;
+        self
+    }
+}
+
+/// Counters accumulated over a session's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    /// Arrivals processed.
+    pub arrivals: usize,
+    /// Full solver runs (initial embeds, drift rebuilds, fallbacks).
+    pub full_solves: usize,
+    /// Arrivals served purely by incremental operations.
+    pub incremental_events: usize,
+    /// Destinations joined incrementally.
+    pub joins: usize,
+    /// Destinations removed incrementally.
+    pub leaves: usize,
+    /// [`dynamics::reroute_all`] passes.
+    pub reroutes: usize,
+    /// Incremental attempts abandoned for a rebuild (dynamics error or
+    /// validation failure).
+    pub fallbacks: usize,
+}
+
+/// What one [`OnlineSession::arrive`] did.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArrivalReport {
+    /// Standing forest cost after this arrival (congestion-aware units).
+    pub forest_cost: f64,
+    /// Session-accumulated cost including this arrival.
+    pub accumulated_cost: f64,
+    /// Whether the solver ran from scratch.
+    pub rebuilt: bool,
+    /// Destinations joined incrementally.
+    pub joined: usize,
+    /// Destinations removed incrementally.
+    pub left: usize,
+    /// Wall-clock milliseconds spent embedding (excludes load accounting).
+    pub millis: f64,
+}
+
+/// An incremental online embedding session: one solver, one standing
+/// forest, congestion-aware costs. See the [module docs](self) for the
+/// lifecycle and an example.
+pub struct OnlineSession {
+    solver: Box<dyn Solver>,
+    config: SofdaConfig,
+    opts: OnlineConfig,
+    instance: SofInstance,
+    tracker: LoadTracker,
+    /// Static topology link costs captured at construction; congestion is
+    /// charged **on top** so unloaded links never become free.
+    base_edge_costs: Vec<Cost>,
+    /// Static VM setup costs captured at construction.
+    base_vm_costs: Vec<(NodeId, Cost)>,
+    forest: Option<ServiceForest>,
+    accumulated: f64,
+    churn_since_solve: usize,
+    stats: OnlineStats,
+}
+
+impl OnlineSession {
+    /// Creates a session over `instance`'s network. The instance's initial
+    /// request is only a placeholder: nothing is embedded until the first
+    /// [`arrive`](OnlineSession::arrive).
+    pub fn new(
+        instance: SofInstance,
+        solver: Box<dyn Solver>,
+        config: SofdaConfig,
+        opts: OnlineConfig,
+    ) -> OnlineSession {
+        let tracker = LoadTracker::new(&instance.network, opts.link_capacity, opts.vm_capacity);
+        let base_edge_costs = (0..instance.network.graph().edge_count())
+            .map(|i| instance.network.graph().edge_cost(EdgeId::new(i)))
+            .collect();
+        let base_vm_costs = instance
+            .network
+            .vms()
+            .into_iter()
+            .map(|v| (v, instance.network.node_cost(v)))
+            .collect();
+        OnlineSession {
+            solver,
+            config,
+            opts,
+            instance,
+            tracker,
+            base_edge_costs,
+            base_vm_costs,
+            forest: None,
+            accumulated: 0.0,
+            churn_since_solve: 0,
+            stats: OnlineStats::default(),
+        }
+    }
+
+    /// Congestion-aware cost refresh: static base cost **plus** the convex
+    /// Fortz–Thorup surcharge for the current load. (Pure
+    /// [`LoadTracker::refresh_costs`] would price unloaded resources at
+    /// zero, which lets a from-scratch solver dodge all standing load for
+    /// free and makes mode comparisons meaningless.)
+    fn refresh_costs(&mut self) {
+        let net = &mut self.instance.network;
+        for (i, &base) in self.base_edge_costs.iter().enumerate() {
+            let e = EdgeId::new(i);
+            let congestion = fortz_thorup(self.tracker.edge_load(e), self.tracker.edge_capacity(e));
+            net.graph_mut()
+                .set_edge_cost(e, base + congestion * self.tracker.edge_cost_scale);
+        }
+        for &(v, base) in &self.base_vm_costs {
+            let congestion = fortz_thorup(self.tracker.node_load(v), self.tracker.node_capacity(v));
+            net.set_node_cost(v, base + congestion * self.tracker.node_cost_scale);
+        }
+    }
+
+    /// The driving solver's display name.
+    pub fn solver_name(&self) -> &'static str {
+        self.solver.name()
+    }
+
+    /// The current instance (network costs reflect the latest refresh).
+    pub fn instance(&self) -> &SofInstance {
+        &self.instance
+    }
+
+    /// The standing forest, if anything is embedded.
+    pub fn forest(&self) -> Option<&ServiceForest> {
+        self.forest.as_ref()
+    }
+
+    /// Accumulated forest cost over all arrivals (Fig. 12's y-axis).
+    pub fn accumulated_cost(&self) -> f64 {
+        self.accumulated
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// The load tracker (e.g. to seed initial loads or inspect
+    /// utilization).
+    pub fn tracker(&self) -> &LoadTracker {
+        &self.tracker
+    }
+
+    /// Processes the next group snapshot: re-embeds on the current
+    /// congestion-aware costs (incrementally when possible), charges the
+    /// standing forest's footprint to the tracker, refreshes costs and
+    /// accumulates the forest's cost **including its own congestion
+    /// surcharge** — the same accounting for both modes, so a from-scratch
+    /// solver cannot "dodge" load it itself creates.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`] when a required full solve fails; the standing forest
+    /// is dropped so the next arrival starts clean.
+    pub fn arrive(&mut self, request: Request) -> Result<ArrivalReport, SolveError> {
+        self.stats.arrivals += 1;
+        let t0 = Instant::now();
+        let mut joined = 0;
+        let mut left = 0;
+        let mut rebuilt = false;
+        if !self.try_incremental(&request, &mut joined, &mut left) {
+            self.rebuild(request)?;
+            rebuilt = true;
+        }
+        let millis = t0.elapsed().as_secs_f64() * 1e3;
+        let forest_cost = self.recharge();
+        self.accumulated += forest_cost;
+        Ok(ArrivalReport {
+            forest_cost,
+            accumulated_cost: self.accumulated,
+            rebuilt,
+            joined,
+            left,
+            millis,
+        })
+    }
+
+    /// Removes one destination from the served group incrementally (a
+    /// viewer departing between arrivals). Does not touch the accumulated
+    /// cost; returns the standing forest's cost after the removal.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when the destination is not served or
+    /// nothing is embedded yet.
+    pub fn depart(&mut self, destination: NodeId) -> Result<f64, SolveError> {
+        let forest = self
+            .forest
+            .as_mut()
+            .ok_or_else(|| SolveError::Infeasible("nothing embedded yet".into()))?;
+        dynamics::destination_leave(&mut self.instance, forest, destination)
+            .map_err(|e| SolveError::Infeasible(e.to_string()))?;
+        self.stats.leaves += 1;
+        self.churn_since_solve += 1;
+        Ok(self.recharge())
+    }
+
+    /// Attempts the incremental path; `false` means the caller must do a
+    /// full rebuild (mode, drift, structural change, or a failed dynamic
+    /// operation).
+    fn try_incremental(&mut self, request: &Request, joined: &mut usize, left: &mut usize) -> bool {
+        if self.opts.mode != EmbedMode::Incremental || self.forest.is_none() {
+            return false;
+        }
+        let same_shape = {
+            let old = &self.instance.request;
+            old.sources.iter().collect::<BTreeSet<_>>()
+                == request.sources.iter().collect::<BTreeSet<_>>()
+                && old.chain.iter().eq(request.chain.iter())
+        };
+        if !same_shape {
+            return false;
+        }
+        let old: BTreeSet<NodeId> = self.instance.request.destinations.iter().copied().collect();
+        let new: BTreeSet<NodeId> = request.destinations.iter().copied().collect();
+        let to_leave: Vec<NodeId> = old.difference(&new).copied().collect();
+        let to_join: Vec<NodeId> = new.difference(&old).copied().collect();
+        let churn = to_leave.len() + to_join.len();
+        let drift_limit = self.opts.rebuild_drift * new.len().max(1) as f64;
+        if (self.churn_since_solve + churn) as f64 >= drift_limit {
+            return false;
+        }
+        let mut forest = self.forest.clone().expect("checked above");
+        let instance = &mut self.instance;
+        let applied = (|| -> Result<(), dynamics::DynamicsError> {
+            for &d in &to_leave {
+                dynamics::destination_leave(instance, &mut forest, d)?;
+            }
+            for &d in &to_join {
+                let first =
+                    dynamics::destination_join_with(instance, &mut forest, d, self.opts.join);
+                if first.is_err() && self.opts.join != JoinStrategy::FullSearch {
+                    dynamics::destination_join_with(
+                        instance,
+                        &mut forest,
+                        d,
+                        JoinStrategy::FullSearch,
+                    )?;
+                } else {
+                    first?;
+                }
+            }
+            Ok(())
+        })();
+        let reroute_due = self.opts.reroute_every > 0
+            && self.stats.arrivals.is_multiple_of(self.opts.reroute_every);
+        match applied {
+            Ok(()) => {
+                if reroute_due {
+                    dynamics::reroute_all(&self.instance, &mut forest);
+                }
+                if forest.validate(&self.instance).is_ok() {
+                    self.forest = Some(forest);
+                    self.churn_since_solve += churn;
+                    self.stats.incremental_events += 1;
+                    self.stats.joins += to_join.len();
+                    self.stats.leaves += to_leave.len();
+                    if reroute_due {
+                        self.stats.reroutes += 1;
+                    }
+                    *joined = to_join.len();
+                    *left = to_leave.len();
+                    true
+                } else {
+                    self.stats.fallbacks += 1;
+                    false
+                }
+            }
+            Err(_) => {
+                self.stats.fallbacks += 1;
+                false
+            }
+        }
+    }
+
+    /// Runs the solver from scratch on `request`.
+    fn rebuild(&mut self, request: Request) -> Result<(), SolveError> {
+        self.instance.request = request;
+        if !self.solver.supports(&self.instance) {
+            self.forest = None;
+            return Err(SolveError::Infeasible(format!(
+                "instance exceeds {}'s capability hints",
+                self.solver.name()
+            )));
+        }
+        match self.solver.solve(&self.instance, &self.config) {
+            Ok(out) => {
+                // The trait contract says solvers return feasible forests;
+                // enforce it here the way the old bench loop did, so a
+                // registry regression cannot silently enter the accounting.
+                if let Err(e) = out.forest.validate(&self.instance) {
+                    self.forest = None;
+                    return Err(SolveError::Internal(e));
+                }
+                self.forest = Some(out.forest);
+                self.churn_since_solve = 0;
+                self.stats.full_solves += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.forest = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Re-derives the standing forest's load footprint, refreshes
+    /// congestion-aware costs, and returns the forest's cost under them.
+    fn recharge(&mut self) -> f64 {
+        let forest = self.forest.take().expect("caller ensured a forest");
+        self.tracker.clear_loads();
+        self.tracker
+            .apply_forest(&self.instance.network, &forest, self.opts.demand_mbps);
+        self.refresh_costs();
+        let cost = forest.cost(&self.instance.network).total().value();
+        self.forest = Some(forest);
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Network, ServiceChain, Sofda};
+    use sof_graph::{generators, Cost, CostRange, Rng64};
+
+    fn grid_instance() -> SofInstance {
+        let mut rng = Rng64::seed_from(11);
+        let g = generators::gnp_connected(30, 0.15, CostRange::new(1.0, 5.0), &mut rng);
+        let mut net = Network::all_switches(g);
+        let picks = rng.sample_indices(30, 10);
+        for &v in &picks[..6] {
+            net.make_vm(NodeId::new(v), Cost::new(1.0));
+        }
+        SofInstance::new(
+            net,
+            Request::new(
+                vec![NodeId::new(picks[6]), NodeId::new(picks[7])],
+                vec![NodeId::new(picks[8]), NodeId::new(picks[9])],
+                ServiceChain::with_len(2),
+            ),
+        )
+        .unwrap()
+    }
+
+    fn session(mode: EmbedMode) -> OnlineSession {
+        let inst = grid_instance();
+        let opts = OnlineConfig::default().with_mode(mode);
+        OnlineSession::new(inst, Box::new(Sofda), SofdaConfig::default(), opts)
+    }
+
+    fn snapshot(inst: &SofInstance, dests: Vec<NodeId>) -> Request {
+        Request::new(
+            inst.request.sources.clone(),
+            dests,
+            inst.request.chain.clone(),
+        )
+    }
+
+    #[test]
+    fn first_arrival_rebuilds_then_join_and_leave_are_incremental() {
+        let mut s = session(EmbedMode::Incremental);
+        let base = s.instance().request.destinations.clone();
+        let extra = s
+            .instance()
+            .network
+            .graph()
+            .nodes()
+            .find(|n| !base.contains(n) && !s.instance().request.sources.contains(n))
+            .unwrap();
+
+        let r1 = s.arrive(snapshot(s.instance(), base.clone())).unwrap();
+        assert!(r1.rebuilt);
+        let mut grown = base.clone();
+        grown.push(extra);
+        let r2 = s.arrive(snapshot(s.instance(), grown)).unwrap();
+        assert!(!r2.rebuilt && r2.joined == 1 && r2.left == 0);
+        let r3 = s.arrive(snapshot(s.instance(), base)).unwrap();
+        assert!(!r3.rebuilt && r3.left == 1);
+        s.forest().unwrap().validate(s.instance()).unwrap();
+        assert_eq!(s.stats().full_solves, 1);
+        assert_eq!(s.stats().incremental_events, 2);
+        assert!(r3.accumulated_cost > r2.forest_cost);
+    }
+
+    #[test]
+    fn from_scratch_mode_always_rebuilds() {
+        let mut s = session(EmbedMode::FromScratch);
+        let base = s.instance().request.destinations.clone();
+        for _ in 0..3 {
+            let r = s.arrive(snapshot(s.instance(), base.clone())).unwrap();
+            assert!(r.rebuilt);
+        }
+        assert_eq!(s.stats().full_solves, 3);
+        assert_eq!(s.stats().incremental_events, 0);
+    }
+
+    #[test]
+    fn drift_threshold_forces_rebuild() {
+        let inst = grid_instance();
+        let opts = OnlineConfig::default().with_rebuild_drift(0.0);
+        let mut s = OnlineSession::new(inst, Box::new(Sofda), SofdaConfig::default(), opts);
+        let base = s.instance().request.destinations.clone();
+        s.arrive(snapshot(s.instance(), base.clone())).unwrap();
+        // Zero drift tolerance: even a no-op churn (0 < 0 is false… so use a
+        // real change) rebuilds.
+        let shrunk = vec![base[0]];
+        let r = s.arrive(snapshot(s.instance(), shrunk)).unwrap();
+        assert!(r.rebuilt);
+        assert_eq!(s.stats().full_solves, 2);
+    }
+
+    #[test]
+    fn source_change_forces_rebuild() {
+        let mut s = session(EmbedMode::Incremental);
+        let base = s.instance().request.destinations.clone();
+        s.arrive(snapshot(s.instance(), base.clone())).unwrap();
+        let mut req = snapshot(s.instance(), base);
+        req.sources.truncate(1);
+        let r = s.arrive(req).unwrap();
+        assert!(r.rebuilt);
+    }
+
+    #[test]
+    fn depart_removes_destination_and_keeps_feasibility() {
+        let mut s = session(EmbedMode::Incremental);
+        let base = s.instance().request.destinations.clone();
+        s.arrive(snapshot(s.instance(), base.clone())).unwrap();
+        let cost = s.depart(base[0]).unwrap();
+        assert!(cost >= 0.0);
+        s.forest().unwrap().validate(s.instance()).unwrap();
+        assert!(!s.instance().request.destinations.contains(&base[0]));
+        // Departing twice errors.
+        assert!(s.depart(base[0]).is_err());
+    }
+}

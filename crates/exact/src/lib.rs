@@ -13,7 +13,10 @@
 //!   constraint (6) and yielding the true optimum (plus a lower bound),
 //! * [`IpFormulation`] — the paper's IP built explicitly: variable /
 //!   constraint counting, CPLEX-LP text output, and full constraint
-//!   checking of any [`sof_core::ServiceForest`].
+//!   checking of any [`sof_core::ServiceForest`],
+//! * [`ExactBudget`] — the destination-count budget schedule, and
+//!   [`ExactSolver`] — the [`sof_core::Solver`]-trait adapter used by the
+//!   solver registry and the evaluation's "CPLEX" column.
 //!
 //! # Examples
 //!
@@ -43,11 +46,13 @@
 #![warn(missing_docs)]
 
 mod bb;
+mod budget;
 mod dw;
 mod ip;
 mod layered;
 
 pub use bb::{solve_exact, ExactError, ExactOutcome};
+pub use budget::{ExactBudget, ExactSolver};
 pub use dw::{directed_steiner, Arborescence, Restrictions};
 pub use ip::{IpFormulation, IpSize};
 pub use layered::{Arc, LayeredGraph};

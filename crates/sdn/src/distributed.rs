@@ -117,6 +117,35 @@ pub struct DistributedOutcome {
     pub message_count: usize,
 }
 
+/// §VI's multi-controller SOFDA behind the [`sof_core::Solver`] trait: a
+/// fixed domain count, message accounting discarded (use
+/// [`distributed_sofda`] directly when you need it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistributedSofda {
+    /// Number of controller domains.
+    pub domains: usize,
+}
+
+impl Default for DistributedSofda {
+    fn default() -> DistributedSofda {
+        DistributedSofda { domains: 3 }
+    }
+}
+
+impl sof_core::Solver for DistributedSofda {
+    fn name(&self) -> &'static str {
+        "D-SOFDA"
+    }
+
+    fn solve(
+        &self,
+        instance: &SofInstance,
+        config: &SofdaConfig,
+    ) -> Result<SolveOutcome, SolveError> {
+        distributed_sofda(instance, self.domains, config).map(|d| d.outcome)
+    }
+}
+
 /// Runs SOFDA across `k` controller domains.
 ///
 /// # Errors

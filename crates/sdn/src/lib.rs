@@ -40,5 +40,5 @@
 mod distributed;
 mod rules;
 
-pub use distributed::{distributed_sofda, DistributedOutcome, DomainPartition};
+pub use distributed::{distributed_sofda, DistributedOutcome, DistributedSofda, DomainPartition};
 pub use rules::{FlowRule, RuleTable};

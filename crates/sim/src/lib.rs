@@ -11,7 +11,9 @@
 //!   forest's paths, replayed against a player-buffer model
 //!   ([`PlayerConfig`]) to produce [`Qoe`] per viewer, with
 //!   [`EnvironmentProfile`] capturing the "Ours" vs "Emulab" overhead split,
-//! * [`RequestStream`] — the online-deployment workload of Fig. 12.
+//! * [`RequestStream`] — the online-deployment workload of Fig. 12,
+//! * [`ChurnStream`] — viewer-churn snapshots of one long-lived group, the
+//!   workload driving the incremental `OnlineSession` engine.
 //!
 //! # Examples
 //!
@@ -44,4 +46,4 @@ mod workload;
 pub use des::{EventQueue, SimTime};
 pub use flow::{max_min_rates, Flow};
 pub use video::{simulate_sessions, EnvironmentProfile, PlayerConfig, Qoe, Session};
-pub use workload::{RequestStream, WorkloadParams};
+pub use workload::{ChurnParams, ChurnStream, RequestStream, WorkloadParams};

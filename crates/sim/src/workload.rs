@@ -92,6 +92,119 @@ impl Iterator for RequestStream {
     }
 }
 
+/// Parameters for a viewer-churn stream: one long-lived multicast group
+/// whose destination set mutates between arrivals (sources and chain stay
+/// fixed). This is the workload the incremental `OnlineSession` engine is
+/// built for — each event is a handful of §VII-C joins/leaves instead of a
+/// fresh request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnParams {
+    /// Draws the initial request (and fixes demand/chain length).
+    pub base: WorkloadParams,
+    /// Inclusive range of destinations leaving per event.
+    pub leaves: (usize, usize),
+    /// Inclusive range of destinations joining per event.
+    pub joins: (usize, usize),
+}
+
+impl ChurnParams {
+    /// SoftLayer churn: the paper's group sizes with 1–3 viewers coming
+    /// and going per arrival.
+    pub fn softlayer() -> ChurnParams {
+        ChurnParams {
+            base: WorkloadParams::softlayer(),
+            leaves: (1, 3),
+            joins: (1, 3),
+        }
+    }
+
+    /// Cogent churn: larger groups, 2–5 viewers of churn per arrival.
+    pub fn cogent() -> ChurnParams {
+        ChurnParams {
+            base: WorkloadParams::cogent(),
+            leaves: (2, 5),
+            joins: (2, 5),
+        }
+    }
+}
+
+/// Streams successive snapshots of one multicast group under viewer churn.
+///
+/// Every [`ChurnStream::next_request`] returns the **full** request (same
+/// sources, same chain, mutated destinations), so consumers diff
+/// consecutive snapshots — exactly the contract of `OnlineSession::arrive`.
+#[derive(Clone, Debug)]
+pub struct ChurnStream {
+    params: ChurnParams,
+    current: Request,
+    access_nodes: usize,
+    rng: Rng64,
+}
+
+impl ChurnStream {
+    /// Creates a stream over `access_nodes` access nodes; the initial
+    /// group is drawn exactly like [`RequestStream`] would.
+    pub fn new(params: ChurnParams, access_nodes: usize, seed: u64) -> ChurnStream {
+        let mut base = RequestStream::new(params.base, access_nodes, seed);
+        let current = base.next_request();
+        ChurnStream {
+            params,
+            current,
+            access_nodes,
+            rng: base.rng,
+        }
+    }
+
+    /// The group snapshot most recently handed out.
+    pub fn current(&self) -> &Request {
+        &self.current
+    }
+
+    /// The configured per-request demand.
+    pub fn demand(&self) -> f64 {
+        self.params.base.demand_mbps
+    }
+
+    /// Applies one churn event and returns the new snapshot: some viewers
+    /// leave (never emptying the group), some join from unused access
+    /// nodes (never colliding with sources or current viewers).
+    pub fn next_request(&mut self) -> Request {
+        let mut dests = self.current.destinations.clone();
+        let leave = self
+            .rng
+            .range(self.params.leaves.0, self.params.leaves.1 + 1)
+            .min(dests.len().saturating_sub(1));
+        for _ in 0..leave {
+            let i = self.rng.range(0, dests.len());
+            dests.swap_remove(i);
+        }
+        let free: Vec<NodeId> = (0..self.access_nodes)
+            .map(NodeId::new)
+            .filter(|n| !dests.contains(n) && !self.current.sources.contains(n))
+            .collect();
+        let join = self
+            .rng
+            .range(self.params.joins.0, self.params.joins.1 + 1)
+            .min(free.len());
+        let picked = self.rng.sample_indices(free.len(), join);
+        dests.extend(picked.into_iter().map(|i| free[i]));
+        self.current = Request::new(
+            self.current.sources.clone(),
+            dests,
+            self.current.chain.clone(),
+        );
+        self.current.clone()
+    }
+}
+
+impl Iterator for ChurnStream {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        Some(self.next_request())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +221,43 @@ mod tests {
             for s in &r.sources {
                 assert!(!r.destinations.contains(s));
             }
+        }
+    }
+
+    #[test]
+    fn churn_keeps_sources_and_mutates_destinations() {
+        let mut stream = ChurnStream::new(ChurnParams::softlayer(), 27, 3);
+        let initial = stream.current().clone();
+        let mut changed = false;
+        let mut prev = initial.clone();
+        for _ in 0..30 {
+            let r = stream.next_request();
+            assert_eq!(r.sources, initial.sources, "sources must stay fixed");
+            assert_eq!(r.chain.len(), initial.chain.len());
+            assert!(!r.destinations.is_empty());
+            for d in &r.destinations {
+                assert!(!r.sources.contains(d), "viewer on a source node");
+            }
+            let mut sorted = r.destinations.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), r.destinations.len(), "duplicate viewers");
+            changed |= r.destinations != prev.destinations;
+            prev = r;
+        }
+        assert!(changed, "thirty events never churned the group");
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let a: Vec<Request> = ChurnStream::new(ChurnParams::cogent(), 190, 8)
+            .take(6)
+            .collect();
+        let b: Vec<Request> = ChurnStream::new(ChurnParams::cogent(), 190, 8)
+            .take(6)
+            .collect();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.destinations, y.destinations);
         }
     }
 

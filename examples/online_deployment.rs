@@ -1,37 +1,59 @@
-//! Online deployment (Fig. 12): requests arrive one by one; link and VM
-//! costs follow the convex Fortz–Thorup model so congested resources get
-//! expensive and SOFDA routes around them.
+//! Online deployment (Fig. 12): one long-lived multicast group churns as
+//! viewers come and go. The incremental `OnlineSession` engine serves each
+//! event with §VII-C join/leave dynamics on a standing forest — re-running
+//! the solver only when accumulated churn drifts past its threshold —
+//! while link and VM costs follow the convex Fortz–Thorup model so
+//! congested resources get expensive.
 //!
 //! Run with `cargo run --release --example online_deployment`.
 
-use sof::core::{LoadTracker, SofdaConfig};
-use sof::sim::{RequestStream, WorkloadParams};
+use sof::core::{OnlineConfig, OnlineSession, SofdaConfig};
+use sof::sim::{ChurnParams, ChurnStream};
 use sof::topo::{build_instance, softlayer, ScenarioParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topo = softlayer();
     let mut p = ScenarioParams::paper_defaults().with_seed(7);
     p.vm_count = topo.dc_nodes.len() * 5; // 5 VMs per data center
-    let mut inst = build_instance(&topo, &p);
-    let mut tracker = LoadTracker::new(&inst.network, 100.0, 5.0);
-    let mut stream = RequestStream::new(WorkloadParams::softlayer(), 27, 7);
-    let mut accumulated = 0.0;
-    println!("arrival  request(|S|,|D|)  cost      accumulated");
+    p.chain_len = 3;
+    let inst = build_instance(&topo, &p);
+    let mut session = OnlineSession::new(
+        inst,
+        sof::solvers::by_name("SOFDA").expect("registered"),
+        SofdaConfig::default().with_seed(7),
+        OnlineConfig::default(),
+    );
+    let mut churn = ChurnStream::new(ChurnParams::softlayer(), 27, 7);
+    println!("arrival  |D|  mode         Δ(join/leave)  cost      accumulated");
     for arrival in 1..=20 {
-        let request = stream.next_request();
-        let dims = (request.sources.len(), request.destinations.len());
-        inst.request = request;
-        tracker.refresh_costs(&mut inst.network);
-        let out = sof::core::solve_sofda(&inst, &SofdaConfig::default())?;
-        out.forest.validate(&inst)?;
-        tracker.apply_forest(&inst.network, &out.forest, stream.demand());
-        accumulated += out.cost.total().value();
+        let request = if arrival == 1 {
+            churn.current().clone()
+        } else {
+            churn.next_request()
+        };
+        let dests = request.destinations.len();
+        let report = session.arrive(request)?;
+        session
+            .forest()
+            .expect("standing forest")
+            .validate(session.instance())?;
         println!(
-            "{arrival:>7}  ({:>2},{:>2})            {:>8.1}  {accumulated:>10.1}",
-            dims.0,
-            dims.1,
-            out.cost.total().value()
+            "{arrival:>7}  {dests:>3}  {:<11}  (+{},-{})        {:>8.1}  {:>11.1}",
+            if report.rebuilt {
+                "full solve"
+            } else {
+                "incremental"
+            },
+            report.joined,
+            report.left,
+            report.forest_cost,
+            report.accumulated_cost,
         );
     }
+    let st = session.stats();
+    println!(
+        "\n{} arrivals: {} full solves, {} incremental events ({} joins, {} leaves, {} reroutes)",
+        st.arrivals, st.full_solves, st.incremental_events, st.joins, st.leaves, st.reroutes
+    );
     Ok(())
 }

@@ -43,27 +43,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {} ⇐ {}  via {}", w.destination, w.source, hops.join("→"));
     }
 
-    // Baselines on the same instance.
-    for (name, r) in [
-        (
-            "ST   ",
-            sof::baselines::solve_st(&inst, &SofdaConfig::default())?,
-        ),
-        (
-            "eST  ",
-            sof::baselines::solve_est(&inst, &SofdaConfig::default())?,
-        ),
-        (
-            "eNEMP",
-            sof::baselines::solve_enemp(&inst, &SofdaConfig::default())?,
-        ),
-    ] {
-        println!("{name} cost: {}", r.cost);
+    // Every other registered solver on the same instance (baselines,
+    // exact, single-source, distributed — whatever the registry knows).
+    for solver in sof::solvers::all() {
+        if solver.name() == "SOFDA" || !solver.supports(&inst) {
+            continue;
+        }
+        let r = solver.solve(&inst, &SofdaConfig::default())?;
+        println!("{:<8} cost: {}", solver.name(), r.cost);
     }
 
     // Exact optimum (small instance → instant).
     let exact = sof::exact::solve_exact(&inst, 300)?;
-    println!("OPT   cost: {} (optimal: {})", exact.cost, exact.optimal);
+    println!("OPT      cost: {} (optimal: {})", exact.cost, exact.optimal);
     assert!(out.cost.total() >= exact.cost);
     Ok(())
 }

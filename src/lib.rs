@@ -13,20 +13,57 @@
 //!   algorithms, VNF conflict resolution, cost model, dynamic operations,
 //! * [`baselines`] — the paper's comparison algorithms (ST, eST, eNEMP),
 //! * [`exact`] — the optimal "CPLEX-column" solver and the IP formulation,
+//! * [`solvers`] — the registry of every algorithm behind the object-safe
+//!   [`core::Solver`] trait (`solvers::all()`, `solvers::by_name`),
 //! * [`topo`] — SoftLayer / Cogent / Inet / testbed topologies,
-//! * [`sim`] — flow-level DES with max-min fairness and video QoE,
+//! * [`sim`] — flow-level DES with max-min fairness, video QoE, and the
+//!   online request / viewer-churn workloads,
 //! * [`sdn`] — flow-rule compilation and distributed multi-controller SOFDA.
 //!
 //! # Quick start
 //!
+//! Pick solvers from the registry and compare them on one instance:
+//!
 //! ```
-//! use sof::core::{solve_sofda, SofdaConfig};
+//! use sof::core::SofdaConfig;
 //! use sof::topo::{build_instance, softlayer, ScenarioParams};
 //!
 //! let inst = build_instance(&softlayer(), &ScenarioParams::paper_defaults());
-//! let out = solve_sofda(&inst, &SofdaConfig::default())?;
-//! out.forest.validate(&inst)?;
-//! println!("forest cost {}", out.cost);
+//! for solver in sof::solvers::comparison_set(false) {
+//!     let out = solver.solve(&inst, &SofdaConfig::default())?;
+//!     out.forest.validate(&inst)?;
+//!     println!("{:>5}: {}", solver.name(), out.cost);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # Online embedding
+//!
+//! For arrival/departure workloads, drive any registered solver through the
+//! incremental [`core::OnlineSession`] engine instead of re-solving from
+//! scratch:
+//!
+//! ```
+//! use sof::core::{OnlineConfig, OnlineSession, SofdaConfig};
+//! use sof::sim::{ChurnParams, ChurnStream};
+//! use sof::topo::{build_instance, softlayer, ScenarioParams};
+//!
+//! let topo = softlayer();
+//! let mut p = ScenarioParams::paper_defaults().with_seed(7);
+//! p.destinations = 4;
+//! let inst = build_instance(&topo, &p);
+//! let mut session = OnlineSession::new(
+//!     inst,
+//!     sof::solvers::by_name("SOFDA").expect("registered"),
+//!     SofdaConfig::default(),
+//!     OnlineConfig::default(),
+//! );
+//! let mut churn = ChurnStream::new(ChurnParams::softlayer(), 27, 7);
+//! let first = session.arrive(churn.current().clone())?;
+//! assert!(first.rebuilt); // initial embed runs the solver…
+//! let next = session.arrive(churn.next_request())?;
+//! // …after which viewer churn is handled by §VII-C join/leave dynamics.
+//! println!("rebuilt: {}, joined {}, left {}", next.rebuilt, next.joined, next.left);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -40,5 +77,6 @@ pub use sof_graph as graph;
 pub use sof_kstroll as kstroll;
 pub use sof_sdn as sdn;
 pub use sof_sim as sim;
+pub use sof_solvers as solvers;
 pub use sof_steiner as steiner;
 pub use sof_topo as topo;

@@ -114,6 +114,38 @@ proptest! {
         forest.validate(&inst).unwrap();
     }
 
+    /// Every registered solver on random feasible instances returns a
+    /// validator-feasible forest and never beats the exact solver when both
+    /// succeed (budget 300 proves optimality at these sizes, making
+    /// `exact.cost` a true floor).
+    #[test]
+    fn registered_solvers_feasible_and_never_beat_exact(
+        seed in 0u64..4000,
+        srcs in 1usize..3,
+        chain in 1usize..3,
+    ) {
+        let inst = random_instance(seed, 16, 5, srcs, 2, chain);
+        let exact = sof::exact::solve_exact(&inst, 300).unwrap();
+        for solver in sof::solvers::all() {
+            if !solver.supports(&inst) {
+                continue; // e.g. SOFDA-SS on multi-source draws
+            }
+            let out = solver
+                .solve(&inst, &SofdaConfig::default().with_seed(seed))
+                .unwrap_or_else(|e| panic!("{} failed on seed {seed}: {e}", solver.name()));
+            out.forest
+                .validate(&inst)
+                .unwrap_or_else(|e| panic!("{} invalid on seed {seed}: {e}", solver.name()));
+            if exact.optimal {
+                prop_assert!(
+                    out.cost.total() >= exact.cost - Cost::new(1e-9),
+                    "{} beat the exact optimum on seed {seed}",
+                    solver.name()
+                );
+            }
+        }
+    }
+
     /// The exact solver's relaxation really is a lower bound.
     #[test]
     fn exact_bound_sandwich(seed in 0u64..800) {
