@@ -1,11 +1,14 @@
 //! Fig. 12: online deployment — accumulative cost as one long-lived
 //! multicast group churns, comparing from-scratch re-embedding (the seed
 //! behavior) against the incremental `OnlineSession` engine (§VII-C
-//! dynamics + drift-bounded rebuilds).
+//! dynamics + drift-bounded rebuilds). With `--sessions N` (N > 1) it
+//! instead serves N independent churning groups concurrently through a
+//! `SessionPool` — the production-scale multi-group scenario.
 use sof_bench::{print_header, print_row, Args};
-use sof_core::{EmbedMode, OnlineConfig, OnlineSession, Sofda, SofdaConfig};
+use sof_core::{EmbedMode, OnlineConfig, OnlineSession, Request, SessionPool, Sofda, SofdaConfig};
 use sof_sim::{ChurnParams, ChurnStream};
 use sof_topo::{build_instance, cogent, softlayer, ScenarioParams, Topology};
+use std::time::Instant;
 
 /// Per-session timing: embedding milliseconds split by how each arrival
 /// was served.
@@ -158,6 +161,93 @@ fn online(
     }
 }
 
+/// `--sessions N` mode: N independent churning multicast groups, each with
+/// its own incremental `OnlineSession`, stepped concurrently through a
+/// `SessionPool`. Results are bit-identical for every thread count.
+fn multi_session(
+    topo: &Topology,
+    churn: ChurnParams,
+    requests: usize,
+    seed: u64,
+    groups: usize,
+    drift: f64,
+) {
+    if requests == 0 {
+        println!(
+            "\n## Fig. 12 — {} (0 arrivals requested — skipped)",
+            topo.name
+        );
+        return;
+    }
+    println!(
+        "\n## Fig. 12 — {} ({groups} concurrent sessions × {requests} arrivals, {} threads)\n",
+        topo.name,
+        sof_par::current_threads()
+    );
+    let mut streams: Vec<ChurnStream> = (0..groups)
+        .map(|g| ChurnStream::new(churn, topo.graph.node_count(), seed + g as u64))
+        .collect();
+    let sessions: Vec<OnlineSession> = (0..groups)
+        .map(|g| {
+            let group_seed = seed + g as u64;
+            let mut p = ScenarioParams::paper_defaults().with_seed(group_seed);
+            p.vm_count = topo.dc_nodes.len() * 5;
+            p.chain_len = churn.base.chain_len;
+            OnlineSession::new(
+                build_instance(topo, &p),
+                Box::new(Sofda),
+                SofdaConfig::default().with_seed(group_seed),
+                OnlineConfig {
+                    demand_mbps: churn.base.demand_mbps,
+                    rebuild_drift: drift,
+                    ..OnlineConfig::default()
+                },
+            )
+        })
+        .collect();
+    let mut pool = SessionPool::new(sessions);
+    print_header(&["#arrivals", "Σ accumulated cost", "mean cost/session"]);
+    let t0 = Instant::now();
+    let mut failures = 0usize;
+    for step in 0..requests {
+        let snapshots: Vec<Request> = streams
+            .iter_mut()
+            .map(|s| {
+                if step == 0 {
+                    s.current().clone()
+                } else {
+                    s.next_request()
+                }
+            })
+            .collect();
+        failures += pool
+            .arrive_each(&snapshots)
+            .iter()
+            .filter(|r| r.is_err())
+            .count();
+        let arrival = step + 1;
+        if arrival % 5 == 0 || arrival == requests {
+            let total = pool.total_accumulated_cost();
+            print_row(&[
+                arrival.to_string(),
+                format!("{total:.0}"),
+                format!("{:.0}", total / groups as f64),
+            ]);
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let solves: usize = pool.sessions().iter().map(|s| s.stats().full_solves).sum();
+    let incremental: usize = pool
+        .sessions()
+        .iter()
+        .map(|s| s.stats().incremental_events)
+        .sum();
+    println!(
+        "\n{groups} sessions × {requests} arrivals in {secs:.2} s \
+         ({solves} full solves, {incremental} incremental events, {failures} failures)"
+    );
+}
+
 fn main() {
     let args = Args::parse(
         "fig12 — online deployment under viewer churn: from-scratch vs incremental re-embedding",
@@ -174,6 +264,11 @@ fn main() {
                 "drift",
                 "rebuild when churn since last solve reaches drift × |D| (default 2.0)",
             ),
+            (
+                "sessions",
+                "independent concurrent churn groups served through a SessionPool \
+                 (default 1 = the classic solver comparison; > 1 ignores --scratch)",
+            ),
         ],
     );
     let seed: u64 = args.get("seed", 5000);
@@ -181,6 +276,33 @@ fn main() {
     let cogent_reqs: usize = args.get("requests-cogent", 45);
     let scratch: usize = args.get("scratch", 1);
     let drift: f64 = args.get("drift", 2.0);
+    let sessions: usize = args.get("sessions", 1);
+    if sessions > 1 {
+        if scratch != 1 {
+            eprintln!(
+                "note: --scratch is ignored with --sessions > 1 \
+                 (the session-pool mode has no from-scratch baseline)"
+            );
+        }
+        println!("# Fig. 12 — online deployment ({sessions} concurrent sessions per topology)");
+        multi_session(
+            &softlayer(),
+            ChurnParams::softlayer(),
+            softlayer_reqs,
+            seed,
+            sessions,
+            drift,
+        );
+        multi_session(
+            &cogent(),
+            ChurnParams::cogent(),
+            cogent_reqs,
+            seed,
+            sessions,
+            drift,
+        );
+        return;
+    }
     println!("# Fig. 12 — online deployment (accumulative cost, viewer churn)");
     online(
         &softlayer(),

@@ -17,7 +17,13 @@
 //! trait), so adding a solver to the registry adds it to every harness.
 //! Every binary prints markdown tables, rejects unknown flags, and
 //! answers `--help` with its exact flag set (most take `--seed S`, the
-//! averaging ones also `--seeds N`); all runs are deterministic.
+//! averaging ones also `--seeds N`).
+//!
+//! Per-seed averaging fans out over `sof_par` workers; every binary
+//! accepts the built-in `--threads N` flag (`0` = all cores) and honors
+//! the `SOF_THREADS` environment variable. Results are deterministic and
+//! **identical for every thread count**: each seed's run lands in a fixed
+//! slot and means are folded in seed order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,11 +32,12 @@ use sof_core::{SofInstance, SofdaConfig, Solver};
 use std::time::Instant;
 
 /// A parameter sweep: axis label, swept values, and the setter applying a
-/// value to [`sof_topo::ScenarioParams`].
+/// value to [`sof_topo::ScenarioParams`]. The setter is `Sync` so sweeps
+/// can fan out across `sof_par` workers.
 pub type Sweep = (
     &'static str,
     Vec<usize>,
-    Box<dyn Fn(&mut sof_topo::ScenarioParams, usize)>,
+    Box<dyn Fn(&mut sof_topo::ScenarioParams, usize) + Sync>,
 );
 
 /// The standard one-time-deployment sweep grid shared by Figs. 8-10:
@@ -68,11 +75,95 @@ pub fn standard_sweeps(limit: usize) -> Vec<Sweep> {
     ]
 }
 
+/// One axis of the standard comparison sweeps, as data: the axis label,
+/// the swept values, and `rows[vi][ai]` = mean cost of `algos[ai]` at
+/// `values[vi]` (`None` when the solver skipped or failed every seed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepTable {
+    /// Axis label (e.g. `"#destinations"`).
+    pub axis: &'static str,
+    /// Swept values, in sweep order.
+    pub values: Vec<usize>,
+    /// `rows[vi][ai]`: mean cost per value per solver.
+    pub rows: Vec<Vec<Option<f64>>>,
+}
+
+/// Computes the standard comparison sweeps (Figs. 8–10) on one topology as
+/// data: every solver in `algos`, averaged over `seeds` draws from `base`,
+/// sweeps truncated to `limit` values (`0` = all), per-seed runs fanned
+/// out over `threads` workers (`0` = the configured default,
+/// [`sof_par::current_threads`]). Results are bit-identical for every
+/// thread count.
+pub fn comparison_sweep_tables(
+    topo: &sof_topo::Topology,
+    algos: &[Box<dyn Solver>],
+    seeds: u64,
+    base: u64,
+    limit: usize,
+    threads: usize,
+) -> Vec<SweepTable> {
+    standard_sweeps(limit)
+        .into_iter()
+        .map(|(axis, values, apply)| {
+            // Flatten the whole (value × algo × seed) grid into one fan-out
+            // so wide machines aren't capped at the seed count. Instances
+            // depend only on (value, seed), so they are built once and
+            // shared across solvers. Slots stay index-addressed and means
+            // fold in seed order, so the result is bit-identical to nested
+            // serial loops.
+            let cells: Vec<(usize, u64)> = values
+                .iter()
+                .enumerate()
+                .flat_map(|(vi, _)| (0..seeds).map(move |i| (vi, base + i)))
+                .collect();
+            let instances = sof_par::par_map_indexed(&cells, threads, |_, &(vi, seed)| {
+                let mut p = sof_topo::ScenarioParams::paper_defaults().with_seed(seed);
+                apply(&mut p, values[vi]);
+                sof_topo::build_instance(topo, &p)
+            })
+            .unwrap_or_else(|e| panic!("comparison sweep: {e}"));
+            let tasks: Vec<(usize, usize)> = (0..cells.len())
+                .flat_map(|ci| (0..algos.len()).map(move |ai| (ci, ai)))
+                .collect();
+            let runs = sof_par::par_map_indexed(&tasks, threads, |_, &(ci, ai)| {
+                run(
+                    algos[ai].as_ref(),
+                    &instances[ci],
+                    &SofdaConfig::default().with_seed(cells[ci].1),
+                )
+                .map(|r| r.cost)
+            })
+            .unwrap_or_else(|e| panic!("comparison sweep: {e}"));
+            // Fold per (value, algo) cell; tasks iterate seeds in order for
+            // every fixed (value, algo), keeping the means bit-stable.
+            let mut sums = vec![vec![(0.0f64, 0u64); algos.len()]; values.len()];
+            for (&(ci, ai), cost) in tasks.iter().zip(&runs) {
+                if let Some(c) = cost {
+                    let vi = cells[ci].0;
+                    sums[vi][ai].0 += c;
+                    sums[vi][ai].1 += 1;
+                }
+            }
+            let rows = sums
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|(sum, n)| (n > 0).then(|| sum / n as f64))
+                        .collect()
+                })
+                .collect();
+            SweepTable { axis, values, rows }
+        })
+        .collect()
+}
+
 /// Runs the standard comparison sweeps (Figs. 8–10) on one topology and
 /// prints a markdown table per axis: every solver in `algos`, averaged
 /// over `seeds` draws from `base`, sweeps truncated to `limit` values
 /// (`0` = all). `fig` is the figure label (e.g. `"Fig. 8"`), `topo_label`
-/// the display name used in headings.
+/// the display name used in headings. Seeds fan out over
+/// [`sof_par::current_threads`] workers with thread-count-independent
+/// output.
 pub fn run_comparison_sweeps(
     fig: &str,
     topo: &sof_topo::Topology,
@@ -82,24 +173,17 @@ pub fn run_comparison_sweeps(
     base: u64,
     limit: usize,
 ) {
-    for (name, values, apply) in standard_sweeps(limit) {
-        println!("\n## {fig} — cost vs {name} ({topo_label})\n");
-        let mut hdr = vec![name];
+    for table in comparison_sweep_tables(topo, algos, seeds, base, limit, 0) {
+        println!("\n## {fig} — cost vs {} ({topo_label})\n", table.axis);
+        let mut hdr = vec![table.axis];
         hdr.extend(algos.iter().map(|a| a.name()));
         print_header(&hdr);
-        for &v in &values {
+        for (&v, row) in table.values.iter().zip(&table.rows) {
             let mut cells = vec![v.to_string()];
-            for algo in algos {
-                let make = |seed: u64| {
-                    let mut p = sof_topo::ScenarioParams::paper_defaults().with_seed(seed);
-                    apply(&mut p, v);
-                    sof_topo::build_instance(topo, &p)
-                };
-                match average(algo.as_ref(), seeds, base, &SofdaConfig::default(), make) {
-                    Some((c, _, _)) => cells.push(format!("{c:.1}")),
-                    None => cells.push("-".into()),
-                }
-            }
+            cells.extend(
+                row.iter()
+                    .map(|c| c.map_or_else(|| "-".into(), |c| format!("{c:.1}"))),
+            );
             print_row(&cells);
         }
     }
@@ -139,9 +223,14 @@ pub fn run(solver: &dyn Solver, instance: &SofInstance, config: &SofdaConfig) ->
     })
 }
 
-/// Averages a solver over `seeds` instance draws produced by `make`.
+/// Averages a solver over `seeds` instance draws produced by `make`,
+/// fanning the independent per-seed runs out over
+/// [`sof_par::current_threads`] workers.
 ///
-/// Returns `(mean cost, mean used VMs, mean milliseconds)`.
+/// Returns `(mean cost, mean used VMs, mean milliseconds)`. Costs and VM
+/// counts are bit-identical for every thread count (runs land in per-seed
+/// slots and the means fold in seed order); only the measured wall-clock
+/// means vary.
 pub fn average<F>(
     solver: &dyn Solver,
     seeds: u64,
@@ -150,27 +239,48 @@ pub fn average<F>(
     make: F,
 ) -> Option<(f64, f64, f64)>
 where
-    F: Fn(u64) -> SofInstance,
+    F: Fn(u64) -> SofInstance + Sync,
 {
+    average_with(solver, seeds, base_seed, config, make, 0)
+}
+
+/// [`average`] with an explicit worker count (`0` = the configured
+/// default, [`sof_par::current_threads`]).
+pub fn average_with<F>(
+    solver: &dyn Solver,
+    seeds: u64,
+    base_seed: u64,
+    config: &SofdaConfig,
+    make: F,
+    threads: usize,
+) -> Option<(f64, f64, f64)>
+where
+    F: Fn(u64) -> SofInstance + Sync,
+{
+    let seed_list: Vec<u64> = (0..seeds).map(|i| base_seed + i).collect();
+    let runs = sof_par::par_map_indexed(&seed_list, threads, |_, &seed| {
+        let inst = make(seed);
+        run(solver, &inst, &config.with_seed(seed)).map(|r| (r.cost, r.used_vms as f64, r.millis))
+    })
+    .unwrap_or_else(|e| panic!("averaging sweep: {e}"));
     let mut cost = 0.0;
     let mut vms = 0.0;
     let mut ms = 0.0;
     let mut n = 0.0;
-    for i in 0..seeds {
-        let inst = make(base_seed + i);
-        if let Some(r) = run(solver, &inst, &config.with_seed(base_seed + i)) {
-            cost += r.cost;
-            vms += r.used_vms as f64;
-            ms += r.millis;
-            n += 1.0;
-        }
+    for (c, v, m) in runs.into_iter().flatten() {
+        cost += c;
+        vms += v;
+        ms += m;
+        n += 1.0;
     }
     (n > 0.0).then(|| (cost / n, vms / n, ms / n))
 }
 
 /// Strict `--flag value` parser for the experiment binaries: every flag
 /// must be declared up front, unknown or value-less flags are errors, and
-/// `--help` prints a per-binary usage text.
+/// `--help` prints a per-binary usage text. `--threads` is built in —
+/// every binary accepts it and [`Args::parse`] installs it as the
+/// process-wide [`sof_par`] worker count.
 #[derive(Debug)]
 pub struct Args {
     values: std::collections::HashMap<String, String>,
@@ -193,7 +303,18 @@ impl Args {
     pub fn parse(about: &str, flags: &[(&str, &str)]) -> Args {
         let raw: Vec<String> = std::env::args().skip(1).collect();
         match Args::try_parse(&raw, about, flags) {
-            Ok(Parsed::Run(args)) => args,
+            Ok(Parsed::Run(args)) => {
+                match args.threads() {
+                    Ok(Some(threads)) => sof_par::set_threads(threads),
+                    Ok(None) => {}
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        eprintln!("{}", Args::usage(about, flags));
+                        std::process::exit(2);
+                    }
+                }
+                args
+            }
             Ok(Parsed::Help(usage)) => {
                 println!("{usage}");
                 std::process::exit(0);
@@ -226,7 +347,7 @@ impl Args {
             let name = arg
                 .strip_prefix("--")
                 .ok_or_else(|| format!("unexpected positional argument '{arg}'"))?;
-            if !flags.iter().any(|(f, _)| *f == name) {
+            if name != "threads" && !flags.iter().any(|(f, _)| *f == name) {
                 return Err(format!("unknown flag '--{name}'"));
             }
             let value = it
@@ -237,15 +358,44 @@ impl Args {
         Ok(Parsed::Run(Args { values }))
     }
 
-    /// The `--help` text for a binary.
+    /// The `--help` text for a binary (declared flags plus the built-in
+    /// `--threads` and `--help`).
     pub fn usage(about: &str, flags: &[(&str, &str)]) -> String {
         let mut s = format!("{about}\n\nOptions:\n");
-        let width = flags.iter().map(|(f, _)| f.len()).max().unwrap_or(0);
+        let width = flags
+            .iter()
+            .map(|(f, _)| f.len())
+            .chain(["threads".len()])
+            .max()
+            .unwrap_or(0);
         for (flag, help) in flags {
             s.push_str(&format!("  --{flag:<width$} <value>  {help}\n"));
         }
+        s.push_str(&format!(
+            "  --{:<width$} <value>  worker threads for parallel sweeps (0 = all cores; \
+             overrides SOF_THREADS)\n",
+            "threads"
+        ));
         s.push_str(&format!("  --{:<width$}          print this help", "help"));
         s
+    }
+
+    /// Reads the built-in `--threads` flag: `Ok(None)` when absent,
+    /// `Ok(Some(n))` when it parses (`0` = auto-detect all cores).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the non-numeric value.
+    pub fn threads(&self) -> Result<Option<usize>, String> {
+        match self.values.get("threads") {
+            None => Ok(None),
+            Some(v) => v.parse::<usize>().map(Some).map_err(|_| {
+                format!(
+                    "invalid value '{v}' for flag '--threads': expected a thread count \
+                     (0 = all cores)"
+                )
+            }),
+        }
     }
 
     /// Reads `--seeds` (averaging width), clamped to at least 1 because
@@ -339,6 +489,44 @@ mod tests {
         assert!(err.contains("positional"), "{err}");
         let err = Args::try_parse(&strings(&["--seed"]), "t", &flags).unwrap_err();
         assert!(err.contains("missing its value"), "{err}");
+    }
+
+    #[test]
+    fn threads_flag_is_builtin_and_validated() {
+        let flags = [("seed", "base seed")];
+        // Accepted without being declared, parsed as a count.
+        let Parsed::Run(args) =
+            Args::try_parse(&strings(&["--threads", "4"]), "t", &flags).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(args.threads(), Ok(Some(4)));
+        // Absent → None (leave SOF_THREADS / auto-detect in charge).
+        let Parsed::Run(args) = Args::try_parse(&strings(&[]), "t", &flags).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(args.threads(), Ok(None));
+        // 0 is valid and means auto-detect (all cores).
+        let Parsed::Run(args) =
+            Args::try_parse(&strings(&["--threads", "0"]), "t", &flags).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(args.threads(), Ok(Some(0)));
+        assert!(sof_par::resolve_threads(0) >= 1, "0 resolves to all cores");
+        // Non-numeric values are rejected with a pointed message.
+        let Parsed::Run(args) =
+            Args::try_parse(&strings(&["--threads", "many"]), "t", &flags).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        let err = args.threads().unwrap_err();
+        assert!(err.contains("invalid value 'many'"), "{err}");
+        // A value-less --threads is still a parse error.
+        let err = Args::try_parse(&strings(&["--threads"]), "t", &flags).unwrap_err();
+        assert!(err.contains("missing its value"), "{err}");
+        // And the built-in shows up in every usage text.
+        assert!(Args::usage("t", &flags).contains("--threads"));
     }
 
     #[test]

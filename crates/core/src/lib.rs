@@ -29,7 +29,10 @@
 //! * the incremental [`OnlineSession`] engine powering the online
 //!   deployment scenario (Fig. 12): standing forest, congestion-aware
 //!   costs, §VII-C incremental re-embedding with a drift-bounded rebuild
-//!   fallback.
+//!   fallback,
+//! * [`SessionPool`] — many independent online sessions stepped
+//!   concurrently on `sof_par` workers with bit-identical,
+//!   thread-count-independent results.
 //!
 //! # Examples
 //!
@@ -69,6 +72,7 @@ pub mod dynamics;
 mod forest;
 mod instance;
 mod online;
+mod pool;
 mod sofda;
 mod sofda_ss;
 mod solver;
@@ -81,6 +85,7 @@ pub use dynamics::JoinStrategy;
 pub use forest::{DestWalk, ForestCost, ForestError, ForestStats, ServiceForest};
 pub use instance::{InstanceError, Network, NodeKind, Request, ServiceChain, SofInstance};
 pub use online::{ArrivalReport, EmbedMode, OnlineConfig, OnlineSession, OnlineStats};
+pub use pool::SessionPool;
 pub use sofda::solve_sofda;
 pub use sofda_ss::solve_sofda_ss;
 pub use solver::{Sofda, SofdaSs, Solver};

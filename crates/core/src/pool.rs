@@ -1,0 +1,194 @@
+//! Concurrent execution of many independent [`OnlineSession`]s.
+//!
+//! Online workloads (Fig. 12 at production scale) serve many multicast
+//! groups at once; the sessions are fully independent, so a [`SessionPool`]
+//! steps them in parallel on `sof_par` workers while keeping results
+//! bit-identical to stepping them one by one: session `i` always processes
+//! request `i`, and reports come back in session order regardless of the
+//! thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use sof_core::{
+//!     Network, OnlineConfig, OnlineSession, Request, ServiceChain, SessionPool, Sofda,
+//!     SofInstance, SofdaConfig,
+//! };
+//! use sof_graph::{Cost, Graph, NodeId};
+//!
+//! let session = |dest: usize| {
+//!     let mut g = Graph::with_nodes(8);
+//!     for i in 0..8 {
+//!         g.add_edge(NodeId::new(i), NodeId::new((i + 1) % 8), Cost::new(1.0));
+//!     }
+//!     let mut net = Network::all_switches(g);
+//!     net.make_vm(NodeId::new(2), Cost::new(1.0));
+//!     let request = Request::new(
+//!         vec![NodeId::new(0)],
+//!         vec![NodeId::new(dest)],
+//!         ServiceChain::with_len(1),
+//!     );
+//!     let inst = SofInstance::new(net, request).expect("valid instance");
+//!     OnlineSession::new(inst, Box::new(Sofda), SofdaConfig::default(), OnlineConfig::default())
+//! };
+//! let mut pool = SessionPool::new(vec![session(4), session(5)]).with_threads(2);
+//! let requests: Vec<Request> = pool
+//!     .sessions()
+//!     .iter()
+//!     .map(|s| s.instance().request.clone())
+//!     .collect();
+//! let reports = pool.arrive_each(&requests);
+//! assert_eq!(reports.len(), 2);
+//! assert!(reports.iter().all(|r| r.as_ref().is_ok_and(|a| a.rebuilt)));
+//! assert!(pool.total_accumulated_cost() > 0.0);
+//! ```
+
+use crate::{ArrivalReport, OnlineSession, Request, SolveError};
+
+/// A pool of independent online sessions stepped concurrently.
+///
+/// `threads = 0` (the default) resolves through
+/// [`sof_par::current_threads`] (`--threads` / `SOF_THREADS` / auto).
+pub struct SessionPool {
+    sessions: Vec<OnlineSession>,
+    threads: usize,
+}
+
+impl SessionPool {
+    /// Wraps `sessions`; thread count resolves automatically.
+    pub fn new(sessions: Vec<OnlineSession>) -> SessionPool {
+        SessionPool {
+            sessions,
+            threads: 0,
+        }
+    }
+
+    /// Pins the worker count (`0` = auto via [`sof_par::current_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> SessionPool {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of sessions in the pool.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Read access to the sessions, in pool order.
+    pub fn sessions(&self) -> &[OnlineSession] {
+        &self.sessions
+    }
+
+    /// Consumes the pool, returning its sessions.
+    pub fn into_sessions(self) -> Vec<OnlineSession> {
+        self.sessions
+    }
+
+    /// Steps every session once: session `i` processes `requests[i]`.
+    /// Reports come back in session order and are bit-identical to calling
+    /// [`OnlineSession::arrive`] sequentially, for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `requests.len() != self.len()`, or when a session's
+    /// solver panics (the worker pool surfaces it after draining cleanly).
+    pub fn arrive_each(&mut self, requests: &[Request]) -> Vec<Result<ArrivalReport, SolveError>> {
+        assert_eq!(
+            requests.len(),
+            self.sessions.len(),
+            "one request per session"
+        );
+        sof_par::par_map_mut(&mut self.sessions, self.threads, |i, session| {
+            session.arrive(requests[i].clone())
+        })
+        .unwrap_or_else(|e| panic!("session pool: {e}"))
+    }
+
+    /// Per-session accumulated costs, in pool order.
+    pub fn accumulated_costs(&self) -> Vec<f64> {
+        self.sessions
+            .iter()
+            .map(OnlineSession::accumulated_cost)
+            .collect()
+    }
+
+    /// Sum of accumulated costs, folded in pool order (deterministic).
+    pub fn total_accumulated_cost(&self) -> f64 {
+        self.sessions
+            .iter()
+            .map(OnlineSession::accumulated_cost)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Network, OnlineConfig, ServiceChain, SofInstance, Sofda, SofdaConfig};
+    use sof_graph::{generators, Cost, CostRange, NodeId, Rng64};
+
+    fn session(seed: u64) -> OnlineSession {
+        let mut rng = Rng64::seed_from(seed);
+        let g = generators::gnp_connected(24, 0.18, CostRange::new(1.0, 5.0), &mut rng);
+        let mut net = Network::all_switches(g);
+        let picks = rng.sample_indices(24, 9);
+        for &v in &picks[..5] {
+            net.make_vm(NodeId::new(v), Cost::new(1.0));
+        }
+        let inst = SofInstance::new(
+            net,
+            Request::new(
+                vec![NodeId::new(picks[5]), NodeId::new(picks[6])],
+                vec![NodeId::new(picks[7]), NodeId::new(picks[8])],
+                ServiceChain::with_len(2),
+            ),
+        )
+        .unwrap();
+        OnlineSession::new(
+            inst,
+            Box::new(Sofda),
+            SofdaConfig::default().with_seed(seed),
+            OnlineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn pool_matches_sequential_sessions() {
+        let seeds = [3u64, 4, 5, 6, 7];
+        // Sequential baseline.
+        let mut serial_costs = Vec::new();
+        for &s in &seeds {
+            let mut one = session(s);
+            let req = one.instance().request.clone();
+            one.arrive(req.clone()).unwrap();
+            one.arrive(req).unwrap();
+            serial_costs.push(one.accumulated_cost());
+        }
+        for threads in [1, 2, 8] {
+            let mut pool =
+                SessionPool::new(seeds.iter().map(|&s| session(s)).collect()).with_threads(threads);
+            let requests: Vec<Request> = pool
+                .sessions()
+                .iter()
+                .map(|s| s.instance().request.clone())
+                .collect();
+            let first = pool.arrive_each(&requests);
+            assert!(first.iter().all(|r| r.is_ok()), "threads={threads}");
+            pool.arrive_each(&requests);
+            assert_eq!(pool.accumulated_costs(), serial_costs, "threads={threads}");
+            assert_eq!(pool.len(), seeds.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one request per session")]
+    fn mismatched_request_count_panics() {
+        let mut pool = SessionPool::new(vec![session(1)]);
+        pool.arrive_each(&[]);
+    }
+}

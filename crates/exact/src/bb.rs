@@ -6,6 +6,32 @@ use crate::layered::LayeredGraph;
 use sof_core::{DestWalk, ServiceForest, SofInstance};
 use sof_graph::{Cost, NodeId};
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared upper bound on the optimum: the incumbent's cost as `f64` bits
+/// (`f64::INFINITY` before any incumbent exists). Workers evaluating
+/// sibling branches read it to drop children that cannot improve on the
+/// best known forest. It is re-synced from the incumbent **once per branch
+/// batch** (the search loop itself is sequential) and never written
+/// elsewhere, so every sibling in a batch observes the same bound and the
+/// search stays bit-deterministic for any thread count.
+struct IncumbentBound(AtomicU64);
+
+impl IncumbentBound {
+    fn new() -> IncumbentBound {
+        IncumbentBound(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// Mirrors the current incumbent (`None` = no bound yet).
+    fn sync<T>(&self, incumbent: &Option<(Cost, T)>) {
+        let cost = incumbent.as_ref().map_or(f64::INFINITY, |(c, _)| c.value());
+        self.0.store(cost.to_bits(), Ordering::SeqCst);
+    }
+
+    fn beats(&self, cost: Cost) -> bool {
+        cost.value() < f64::from_bits(self.0.load(Ordering::SeqCst))
+    }
+}
 
 /// Exact solver outcome.
 #[derive(Clone, Debug)]
@@ -59,6 +85,9 @@ fn violations(lg: &LayeredGraph, arb: &Arborescence) -> HashMap<usize, Vec<usize
 
 /// Solves SOF **exactly** via best-first branch-and-bound on the layered
 /// relaxation; `node_budget` bounds the number of relaxations solved.
+/// Branches are evaluated on [`sof_par::current_threads`] workers — see
+/// [`solve_exact_with`] for an explicit thread count and the determinism
+/// contract.
 ///
 /// # Errors
 ///
@@ -67,6 +96,28 @@ fn violations(lg: &LayeredGraph, arb: &Arborescence) -> HashMap<usize, Vec<usize
 /// incumbent exists (the bound is still reported through the error path in
 /// practice — budget ≥ a few hundred suffices for the paper's instances).
 pub fn solve_exact(instance: &SofInstance, node_budget: usize) -> Result<ExactOutcome, ExactError> {
+    solve_exact_with(instance, node_budget, 0)
+}
+
+/// [`solve_exact`] with an explicit worker count (`0` = the configured
+/// default, [`sof_par::current_threads`]).
+///
+/// When a branch-and-bound node is expanded, its child branches (one
+/// Dreyfus–Wagner relaxation per VNF-placement restriction) are forked
+/// across `threads` workers sharing an atomic incumbent bound that prunes
+/// children which cannot beat the best known forest. The bound only moves
+/// between batches, so the node expansion order, explored-node count, and
+/// the returned forest/cost are **bit-identical for every thread count** —
+/// `tests/parallel_determinism.rs` pins this.
+///
+/// # Errors
+///
+/// As for [`solve_exact`].
+pub fn solve_exact_with(
+    instance: &SofInstance,
+    node_budget: usize,
+    threads: usize,
+) -> Result<ExactOutcome, ExactError> {
     let lg = LayeredGraph::build(instance, Cost::ZERO);
     let root_rel = directed_steiner(&lg, &Restrictions::default()).ok_or(ExactError::Infeasible)?;
     let lower_bound = root_rel.cost;
@@ -108,6 +159,7 @@ pub fn solve_exact(instance: &SofInstance, node_budget: usize) -> Result<ExactOu
         Forest(ServiceForest),
     }
     let mut incumbent: Option<(Cost, Incumbent)> = None;
+    let bound = IncumbentBound::new();
     if let Ok(sofda) = sof_core::solve_sofda(instance, &sof_core::SofdaConfig::default()) {
         incumbent = Some((sofda.cost.total(), Incumbent::Forest(sofda.forest)));
     }
@@ -161,7 +213,9 @@ pub fn solve_exact(instance: &SofInstance, node_budget: usize) -> Result<ExactOu
             continue;
         }
         // Branch on the most-violated VM: one child per single allowed
-        // layer, plus a "banned entirely" child.
+        // layer, plus a "banned entirely" child. The children's relaxations
+        // are independent, so they fork across the worker pool; each worker
+        // checks the shared incumbent bound before handing its child back.
         let (&vm, layers) = viol
             .iter()
             .max_by_key(|(_, layers)| layers.len())
@@ -169,19 +223,19 @@ pub fn solve_exact(instance: &SofInstance, node_budget: usize) -> Result<ExactOu
         let _ = layers;
         let mut masks: Vec<u32> = (0..chain_len).map(|i| 1u32 << i).collect();
         masks.push(0);
-        for mask in masks {
+        bound.sync(&incumbent);
+        let children = sof_par::par_map_indexed(&masks, threads, |_, &mask| {
             let mut r = node.restrictions.clone();
             r.restrict(vm, mask);
-            if let Some(arb) = directed_steiner(&lg, &r) {
-                let worth = incumbent.as_ref().is_none_or(|(inc, _)| arb.cost < *inc);
-                if worth {
-                    heap.push(Node {
-                        bound: arb.cost,
-                        restrictions: r,
-                        arb,
-                    });
-                }
-            }
+            directed_steiner(&lg, &r).and_then(|arb| bound.beats(arb.cost).then_some((r, arb)))
+        })
+        .unwrap_or_else(|e| panic!("exact branch evaluation: {e}"));
+        for (r, arb) in children.into_iter().flatten() {
+            heap.push(Node {
+                bound: arb.cost,
+                restrictions: r,
+                arb,
+            });
         }
     }
 

@@ -10,7 +10,10 @@
 //! * [`directed_steiner`] — exact Dreyfus–Wagner DP over destination
 //!   subsets on that graph,
 //! * [`solve_exact`] — branch-and-bound on violated VMs, restoring IP
-//!   constraint (6) and yielding the true optimum (plus a lower bound),
+//!   constraint (6) and yielding the true optimum (plus a lower bound);
+//!   child branches fork across `sof_par` workers sharing an atomic
+//!   incumbent bound, with bit-identical results for any thread count
+//!   ([`solve_exact_with`] takes the count explicitly),
 //! * [`IpFormulation`] — the paper's IP built explicitly: variable /
 //!   constraint counting, CPLEX-LP text output, and full constraint
 //!   checking of any [`sof_core::ServiceForest`],
@@ -51,7 +54,7 @@ mod dw;
 mod ip;
 mod layered;
 
-pub use bb::{solve_exact, ExactError, ExactOutcome};
+pub use bb::{solve_exact, solve_exact_with, ExactError, ExactOutcome};
 pub use budget::{ExactBudget, ExactSolver};
 pub use dw::{directed_steiner, Arborescence, Restrictions};
 pub use ip::{IpFormulation, IpSize};

@@ -11,6 +11,9 @@
 //! * [`kstroll`] — k-stroll solvers (exact, color coding, greedy),
 //! * [`core`] — the SOF problem model, SOFDA / SOFDA-SS approximation
 //!   algorithms, VNF conflict resolution, cost model, dynamic operations,
+//! * [`par`] — deterministic scoped worker pool (`par_map_indexed`,
+//!   `SOF_THREADS`) behind the parallel sweeps, `core::SessionPool`, and
+//!   the exact solver's branch forking,
 //! * [`baselines`] — the paper's comparison algorithms (ST, eST, eNEMP),
 //! * [`exact`] — the optimal "CPLEX-column" solver and the IP formulation,
 //! * [`solvers`] — the registry of every algorithm behind the object-safe
@@ -75,6 +78,7 @@ pub use sof_core as core;
 pub use sof_exact as exact;
 pub use sof_graph as graph;
 pub use sof_kstroll as kstroll;
+pub use sof_par as par;
 pub use sof_sdn as sdn;
 pub use sof_sim as sim;
 pub use sof_solvers as solvers;

@@ -100,3 +100,86 @@ fn online_session_is_deterministic() {
     };
     assert_eq!(run(), run());
 }
+
+/// Coverage for the drift-triggered full-rebuild fallback: a seeded
+/// high-churn stream (3–5 viewers in and out per event against a 6–9
+/// viewer group) with a tight drift threshold of 0.5·|D| **provably**
+/// crosses the threshold. The test mirrors the engine's drift arithmetic
+/// event by event — whenever accumulated churn since the last solve
+/// reaches the threshold the engine *must* rebuild — and checks the
+/// standing forest stays feasible after every rebuild.
+#[test]
+fn high_churn_crosses_drift_threshold_and_rebuilds() {
+    let drift = 0.5;
+    let params = ChurnParams {
+        base: WorkloadParams {
+            sources: (4, 6),
+            destinations: (6, 9),
+            chain_len: 3,
+            demand_mbps: 5.0,
+        },
+        leaves: (3, 5),
+        joins: (3, 5),
+    };
+    let mut stream = ChurnStream::new(params, 27, 97);
+    let topo = softlayer();
+    let mut p = ScenarioParams::paper_defaults().with_seed(97);
+    p.vm_count = topo.dc_nodes.len() * 5;
+    p.chain_len = 3;
+    let mut session = OnlineSession::new(
+        build_instance(&topo, &p),
+        sof::solvers::by_name("SOFDA").expect("registered"),
+        SofdaConfig::default().with_seed(97),
+        OnlineConfig::default().with_rebuild_drift(drift),
+    );
+
+    let mut prev: Vec<_> = Vec::new();
+    let mut churn_since_solve = 0usize;
+    let mut predicted_rebuilds = 0usize;
+    for step in 0..12 {
+        let request = if step == 0 {
+            stream.current().clone()
+        } else {
+            stream.next_request()
+        };
+        // Mirror the engine's drift bookkeeping: symmetric-difference churn
+        // of this event plus churn accumulated since the last full solve.
+        let old: std::collections::BTreeSet<_> = prev.iter().copied().collect();
+        let new: std::collections::BTreeSet<_> = request.destinations.iter().copied().collect();
+        let event_churn = old.symmetric_difference(&new).count();
+        let threshold = drift * new.len().max(1) as f64;
+        let must_rebuild = step == 0 || (churn_since_solve + event_churn) as f64 >= threshold;
+
+        let report = session.arrive(request.clone()).unwrap();
+        if must_rebuild {
+            predicted_rebuilds += 1;
+            assert!(
+                report.rebuilt,
+                "step {step}: churn {churn_since_solve}+{event_churn} crossed \
+                 {threshold} but the engine did not rebuild"
+            );
+        }
+        churn_since_solve = if report.rebuilt {
+            0
+        } else {
+            churn_since_solve + event_churn
+        };
+        // Post-rebuild (and post-join/leave) costs stay feasible.
+        assert!(report.forest_cost.is_finite() && report.forest_cost > 0.0);
+        session
+            .forest()
+            .expect("standing forest")
+            .validate(session.instance())
+            .unwrap();
+        prev = request.destinations;
+    }
+    // The stream provably crossed the threshold after the initial embed…
+    assert!(
+        predicted_rebuilds > 1,
+        "high-churn stream never crossed the drift threshold; weaken the scenario"
+    );
+    // …and the engine's counters agree: every predicted rebuild ran a full
+    // solve, and churn-heavy events still left room for incremental work.
+    assert!(session.stats().full_solves >= predicted_rebuilds);
+    assert!(session.stats().arrivals == 12);
+}

@@ -156,3 +156,77 @@ proptest! {
         prop_assert!(sofda.cost.total() >= exact.cost - Cost::new(1e-9));
     }
 }
+
+// Properties of the `sof_par` worker pool itself: index-addressed output
+// identical to a serial `map` for arbitrary lengths and thread counts, and
+// a panicking task poisons the pool into an error instead of deadlocking.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `par_map_indexed` slot `i` always holds `f(i, &items[i])`, matching
+    /// serial `Vec` mapping for any input length and thread count.
+    #[test]
+    fn par_map_matches_serial_map_ordering(
+        len in 0usize..80,
+        threads in 1usize..10,
+        salt in 0u64..10_000,
+    ) {
+        let items: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(salt | 1)).collect();
+        let expect: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x.rotate_left((i % 63) as u32) ^ salt)
+            .collect();
+        let got = sof::par::par_map_indexed(&items, threads, |i, &x| {
+            x.rotate_left((i % 63) as u32) ^ salt
+        })
+        .unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The mutable variant visits each slot exactly once, in index order
+    /// per slot, for any thread count.
+    #[test]
+    fn par_map_mut_matches_serial(len in 0usize..80, threads in 1usize..10) {
+        let mut items: Vec<u64> = (0..len as u64).collect();
+        let returned = sof::par::par_map_mut(&mut items, threads, |i, x| {
+            *x = x.wrapping_add(7);
+            (i as u64) * 2
+        })
+        .unwrap();
+        prop_assert_eq!(returned, (0..len as u64).map(|i| i * 2).collect::<Vec<u64>>());
+        prop_assert_eq!(items, (0..len as u64).map(|i| i + 7).collect::<Vec<u64>>());
+    }
+
+    /// A panic in one task never deadlocks the pool: the call drains and
+    /// reports `WorkerPanicked` for every thread count.
+    #[test]
+    fn par_map_panics_poison_not_deadlock(len in 1usize..40, threads in 1usize..10) {
+        let bad = len / 2;
+        let items: Vec<usize> = (0..len).collect();
+        let result = sof::par::par_map_indexed(&items, threads, |i, &x| {
+            if i == bad {
+                panic!("injected task failure");
+            }
+            x
+        });
+        prop_assert!(
+            matches!(result, Err(sof::par::ParError::WorkerPanicked { .. })),
+            "expected poisoned-worker error, got {result:?}"
+        );
+        // The serial path pinpoints the exact index and keeps the message.
+        let serial = sof::par::par_map_indexed(&items, 1, |i, &x| {
+            if i == bad {
+                panic!("injected task failure");
+            }
+            x
+        });
+        prop_assert_eq!(
+            serial,
+            Err(sof::par::ParError::WorkerPanicked {
+                index: bad,
+                message: "injected task failure".into()
+            })
+        );
+    }
+}
