@@ -1,29 +1,25 @@
-//! # sof-bench — experiment harness regenerating the paper's evaluation
+//! # sof-bench — low-level experiment engine under the scenario layer
 //!
-//! One binary per table/figure (see DESIGN.md §4):
+//! The building blocks every harness shares: single solver runs with
+//! validation ([`run`]), seed-averaged measurements ([`average`]),
+//! declarative parameter sweeps ([`sweep_tables`] over [`SweepAxis`] /
+//! [`ParamField`]) and the strict [`Args`] flag parser the legacy shim
+//! binaries use.
 //!
-//! | target | reproduces |
-//! |--------|------------|
-//! | `fig7` | the convex cost function curve |
-//! | `fig8` | SoftLayer sweeps incl. the exact ("CPLEX") column |
-//! | `fig9` | Cogent sweeps |
-//! | `fig10` | Inet-synthetic sweeps |
-//! | `fig11` | setup-cost multiple × chain length |
-//! | `fig12` | online deployment: from-scratch vs incremental re-embedding |
-//! | `table1` | SOFDA running time vs network size and source count |
-//! | `table2` | testbed QoE (startup latency / rebuffering) |
+//! The paper's figures and tables themselves are **scenario specs** now:
+//! the `sof_spec` crate compiles `ScenarioSpec` files onto this engine and
+//! the `sof` CLI (`sof run fig8`, `sof list`, `sof validate`) replaces the
+//! former one-binary-per-figure harness; `fig7`…`table2` remain as thin
+//! shims over the bundled preset specs.
 //!
 //! Algorithms come from the [`sof_solvers`] registry (the [`Solver`]
 //! trait), so adding a solver to the registry adds it to every harness.
-//! Every binary prints markdown tables, rejects unknown flags, and
-//! answers `--help` with its exact flag set (most take `--seed S`, the
-//! averaging ones also `--seeds N`).
 //!
-//! Per-seed averaging fans out over `sof_par` workers; every binary
-//! accepts the built-in `--threads N` flag (`0` = all cores) and honors
-//! the `SOF_THREADS` environment variable. Results are deterministic and
-//! **identical for every thread count**: each seed's run lands in a fixed
-//! slot and means are folded in seed order.
+//! Per-seed averaging fans out over `sof_par` workers; `--threads N`
+//! (`0` = all cores) and the `SOF_THREADS` environment variable pick the
+//! worker count. Results are deterministic and **identical for every
+//! thread count**: each seed's run lands in a fixed slot and means are
+//! folded in seed order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,80 +27,159 @@
 use sof_core::{SofInstance, SofdaConfig, Solver};
 use std::time::Instant;
 
-/// A parameter sweep: axis label, swept values, and the setter applying a
-/// value to [`sof_topo::ScenarioParams`]. The setter is `Sync` so sweeps
-/// can fan out across `sof_par` workers.
-pub type Sweep = (
-    &'static str,
-    Vec<usize>,
-    Box<dyn Fn(&mut sof_topo::ScenarioParams, usize) + Sync>,
-);
+/// A sweepable field of [`sof_topo::ScenarioParams`] — the data form of
+/// what used to be per-binary setter closures, so declarative scenario
+/// specs can name axes in files.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ParamField {
+    /// `sources` (candidate source count).
+    Sources,
+    /// `destinations` (group size).
+    Destinations,
+    /// `vm_count` (VMs attached to data centers).
+    VmCount,
+    /// `chain_len` (demanded service-chain length).
+    ChainLen,
+    /// `setup_scale` (VM setup-cost multiple; swept values are the integer
+    /// multiples of Fig. 11).
+    SetupScale,
+}
+
+impl ParamField {
+    /// Applies a swept value to the params.
+    pub fn apply(&self, p: &mut sof_topo::ScenarioParams, v: usize) {
+        match self {
+            ParamField::Sources => p.sources = v,
+            ParamField::Destinations => p.destinations = v,
+            ParamField::VmCount => p.vm_count = v,
+            ParamField::ChainLen => p.chain_len = v,
+            ParamField::SetupScale => p.setup_scale = v as f64,
+        }
+    }
+
+    /// The spec-file name of this field.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ParamField::Sources => "sources",
+            ParamField::Destinations => "destinations",
+            ParamField::VmCount => "vm_count",
+            ParamField::ChainLen => "chain_len",
+            ParamField::SetupScale => "setup_scale",
+        }
+    }
+
+    /// The axis label the figures use (`"#sources"`, `"chain length"`, …).
+    pub fn default_label(&self) -> &'static str {
+        match self {
+            ParamField::Sources => "#sources",
+            ParamField::Destinations => "#destinations",
+            ParamField::VmCount => "#VMs",
+            ParamField::ChainLen => "chain length",
+            ParamField::SetupScale => "setup multiple",
+        }
+    }
+
+    /// Parses a spec-file name (case-insensitive; `-` and `_` are
+    /// interchangeable).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown field and the valid names.
+    pub fn from_name(name: &str) -> Result<ParamField, String> {
+        match name.to_ascii_lowercase().replace('-', "_").as_str() {
+            "sources" => Ok(ParamField::Sources),
+            "destinations" => Ok(ParamField::Destinations),
+            "vm_count" | "vms" => Ok(ParamField::VmCount),
+            "chain_len" | "chain_length" => Ok(ParamField::ChainLen),
+            "setup_scale" => Ok(ParamField::SetupScale),
+            other => Err(format!(
+                "unknown sweep field '{other}' (expected one of sources, destinations, \
+                 vm_count, chain_len, setup_scale)"
+            )),
+        }
+    }
+}
+
+/// One declarative sweep axis: which parameter varies, over which values,
+/// under which display label.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepAxis {
+    /// Display label (figure column header; defaults per field).
+    pub label: String,
+    /// The varied parameter.
+    pub field: ParamField,
+    /// Swept values, in sweep order.
+    pub values: Vec<usize>,
+}
+
+impl SweepAxis {
+    /// An axis over `field` with its default label.
+    pub fn new(field: ParamField, values: Vec<usize>) -> SweepAxis {
+        SweepAxis {
+            label: field.default_label().to_string(),
+            field,
+            values,
+        }
+    }
+
+    /// Truncates the axis to its first `limit` values (`0` = keep all).
+    pub fn truncate(&mut self, limit: usize) {
+        if limit > 0 {
+            self.values.truncate(limit);
+        }
+    }
+}
 
 /// The standard one-time-deployment sweep grid shared by Figs. 8-10:
 /// #sources / #destinations / #VMs / chain length over the paper's ranges.
 /// `limit` truncates every axis to its first `limit` values (`0` = all) —
 /// the knob CI smoke runs use.
-pub fn standard_sweeps(limit: usize) -> Vec<Sweep> {
-    let cut = |mut v: Vec<usize>| {
-        if limit > 0 {
-            v.truncate(limit);
-        }
-        v
-    };
-    vec![
-        (
-            "#sources",
-            cut(vec![2, 8, 14, 20, 26]),
-            Box::new(|p: &mut sof_topo::ScenarioParams, v| p.sources = v) as _,
-        ),
-        (
-            "#destinations",
-            cut(vec![2, 4, 6, 8, 10]),
-            Box::new(|p: &mut sof_topo::ScenarioParams, v| p.destinations = v) as _,
-        ),
-        (
-            "#VMs",
-            cut(vec![5, 15, 25, 35, 45]),
-            Box::new(|p: &mut sof_topo::ScenarioParams, v| p.vm_count = v) as _,
-        ),
-        (
-            "chain length",
-            cut(vec![3, 4, 5, 6, 7]),
-            Box::new(|p: &mut sof_topo::ScenarioParams, v| p.chain_len = v) as _,
-        ),
-    ]
+pub fn standard_axes(limit: usize) -> Vec<SweepAxis> {
+    let mut axes = vec![
+        SweepAxis::new(ParamField::Sources, vec![2, 8, 14, 20, 26]),
+        SweepAxis::new(ParamField::Destinations, vec![2, 4, 6, 8, 10]),
+        SweepAxis::new(ParamField::VmCount, vec![5, 15, 25, 35, 45]),
+        SweepAxis::new(ParamField::ChainLen, vec![3, 4, 5, 6, 7]),
+    ];
+    for a in &mut axes {
+        a.truncate(limit);
+    }
+    axes
 }
 
-/// One axis of the standard comparison sweeps, as data: the axis label,
-/// the swept values, and `rows[vi][ai]` = mean cost of `algos[ai]` at
-/// `values[vi]` (`None` when the solver skipped or failed every seed).
+/// One axis of a comparison sweep, as data: the axis label, the swept
+/// values, and `rows[vi][ai]` = mean cost of `algos[ai]` at `values[vi]`
+/// (`None` when the solver skipped or failed every seed).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepTable {
     /// Axis label (e.g. `"#destinations"`).
-    pub axis: &'static str,
+    pub axis: String,
     /// Swept values, in sweep order.
     pub values: Vec<usize>,
     /// `rows[vi][ai]`: mean cost per value per solver.
     pub rows: Vec<Vec<Option<f64>>>,
 }
 
-/// Computes the standard comparison sweeps (Figs. 8–10) on one topology as
-/// data: every solver in `algos`, averaged over `seeds` draws from `base`,
-/// sweeps truncated to `limit` values (`0` = all), per-seed runs fanned
-/// out over `threads` workers (`0` = the configured default,
+/// Computes comparison sweeps over arbitrary declarative axes on one
+/// topology: every solver in `algos`, averaged over `seeds` instance draws
+/// from `base` around the `base_params` scenario, per-seed runs fanned out
+/// over `threads` workers (`0` = the configured default,
 /// [`sof_par::current_threads`]). Results are bit-identical for every
 /// thread count.
-pub fn comparison_sweep_tables(
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_tables(
     topo: &sof_topo::Topology,
+    base_params: &sof_topo::ScenarioParams,
+    config: &SofdaConfig,
     algos: &[Box<dyn Solver>],
+    axes: &[SweepAxis],
     seeds: u64,
     base: u64,
-    limit: usize,
     threads: usize,
 ) -> Vec<SweepTable> {
-    standard_sweeps(limit)
-        .into_iter()
-        .map(|(axis, values, apply)| {
+    axes.iter()
+        .map(|axis| {
+            let values = &axis.values;
             // Flatten the whole (value × algo × seed) grid into one fan-out
             // so wide machines aren't capped at the seed count. Instances
             // depend only on (value, seed), so they are built once and
@@ -117,8 +192,8 @@ pub fn comparison_sweep_tables(
                 .flat_map(|(vi, _)| (0..seeds).map(move |i| (vi, base + i)))
                 .collect();
             let instances = sof_par::par_map_indexed(&cells, threads, |_, &(vi, seed)| {
-                let mut p = sof_topo::ScenarioParams::paper_defaults().with_seed(seed);
-                apply(&mut p, values[vi]);
+                let mut p = base_params.with_seed(seed);
+                axis.field.apply(&mut p, values[vi]);
                 sof_topo::build_instance(topo, &p)
             })
             .unwrap_or_else(|e| panic!("comparison sweep: {e}"));
@@ -129,7 +204,7 @@ pub fn comparison_sweep_tables(
                 run(
                     algos[ai].as_ref(),
                     &instances[ci],
-                    &SofdaConfig::default().with_seed(cells[ci].1),
+                    &config.with_seed(cells[ci].1),
                 )
                 .map(|r| r.cost)
             })
@@ -152,41 +227,36 @@ pub fn comparison_sweep_tables(
                         .collect()
                 })
                 .collect();
-            SweepTable { axis, values, rows }
+            SweepTable {
+                axis: axis.label.clone(),
+                values: values.clone(),
+                rows,
+            }
         })
         .collect()
 }
 
-/// Runs the standard comparison sweeps (Figs. 8–10) on one topology and
-/// prints a markdown table per axis: every solver in `algos`, averaged
-/// over `seeds` draws from `base`, sweeps truncated to `limit` values
-/// (`0` = all). `fig` is the figure label (e.g. `"Fig. 8"`), `topo_label`
-/// the display name used in headings. Seeds fan out over
-/// [`sof_par::current_threads`] workers with thread-count-independent
-/// output.
-pub fn run_comparison_sweeps(
-    fig: &str,
+/// The standard comparison sweeps of Figs. 8–10 ([`standard_axes`] around
+/// the paper-default scenario), truncated to `limit` values per axis
+/// (`0` = all). See [`sweep_tables`] for the contract.
+pub fn comparison_sweep_tables(
     topo: &sof_topo::Topology,
-    topo_label: &str,
     algos: &[Box<dyn Solver>],
     seeds: u64,
     base: u64,
     limit: usize,
-) {
-    for table in comparison_sweep_tables(topo, algos, seeds, base, limit, 0) {
-        println!("\n## {fig} — cost vs {} ({topo_label})\n", table.axis);
-        let mut hdr = vec![table.axis];
-        hdr.extend(algos.iter().map(|a| a.name()));
-        print_header(&hdr);
-        for (&v, row) in table.values.iter().zip(&table.rows) {
-            let mut cells = vec![v.to_string()];
-            cells.extend(
-                row.iter()
-                    .map(|c| c.map_or_else(|| "-".into(), |c| format!("{c:.1}"))),
-            );
-            print_row(&cells);
-        }
-    }
+    threads: usize,
+) -> Vec<SweepTable> {
+    sweep_tables(
+        topo,
+        &sof_topo::ScenarioParams::paper_defaults(),
+        &SofdaConfig::default(),
+        algos,
+        &standard_axes(limit),
+        seeds,
+        base,
+        threads,
+    )
 }
 
 /// One algorithm run's outcome.
@@ -407,28 +477,19 @@ impl Args {
     /// Reads `--name <value>` with a default. Exits 2 when the supplied
     /// value does not parse as `T`.
     pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        match self.values.get(name) {
-            None => default,
-            Some(v) => v.parse().unwrap_or_else(|_| {
+        self.opt(name).unwrap_or(default)
+    }
+
+    /// Reads `--name <value>`: `None` when the flag is absent. Exits 2
+    /// when the supplied value does not parse as `T`.
+    pub fn opt<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.values.get(name).map(|v| {
+            v.parse().unwrap_or_else(|_| {
                 eprintln!("error: invalid value '{v}' for flag '--{name}'");
                 std::process::exit(2);
-            }),
-        }
+            })
+        })
     }
-}
-
-/// Prints a markdown table row.
-pub fn print_row(cells: &[String]) {
-    println!("| {} |", cells.join(" | "));
-}
-
-/// Prints a markdown header + separator.
-pub fn print_header(cells: &[&str]) {
-    println!("| {} |", cells.join(" | "));
-    println!(
-        "|{}|",
-        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
-    );
 }
 
 #[cfg(test)]

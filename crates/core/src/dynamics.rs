@@ -55,7 +55,7 @@ pub fn destination_leave(
 }
 
 /// How [`destination_join_with`] searches for an attach point.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum JoinStrategy {
     /// Consider every forest node, including ones mid-chain (the remaining
     /// VNFs are completed by a fresh k-stroll over free VMs). Finds the
@@ -67,6 +67,31 @@ pub enum JoinStrategy {
     /// magnitude faster — the hot path of the online engine — and always
     /// feasible on connected networks with a non-empty forest.
     TailAttach,
+}
+
+impl JoinStrategy {
+    /// The spec-file name of this strategy.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JoinStrategy::FullSearch => "full-search",
+            JoinStrategy::TailAttach => "tail-attach",
+        }
+    }
+
+    /// Parses a spec-file name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown strategy and the valid names.
+    pub fn from_name(name: &str) -> Result<JoinStrategy, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "full-search" | "full_search" | "full" => Ok(JoinStrategy::FullSearch),
+            "tail-attach" | "tail_attach" | "tail" => Ok(JoinStrategy::TailAttach),
+            other => Err(format!(
+                "unknown join strategy '{other}' (expected 'tail-attach' or 'full-search')"
+            )),
+        }
+    }
 }
 
 /// §VII-C (2) — connects a new destination to the forest with the cheapest

@@ -84,7 +84,7 @@ pub use cost_model::{fortz_thorup, LoadTracker};
 pub use dynamics::JoinStrategy;
 pub use forest::{DestWalk, ForestCost, ForestError, ForestStats, ServiceForest};
 pub use instance::{InstanceError, Network, NodeKind, Request, ServiceChain, SofInstance};
-pub use online::{ArrivalReport, EmbedMode, OnlineConfig, OnlineSession, OnlineStats};
+pub use online::{ArrivalReport, DriftPolicy, EmbedMode, OnlineConfig, OnlineSession, OnlineStats};
 pub use pool::SessionPool;
 pub use sofda::solve_sofda;
 pub use sofda_ss::solve_sofda_ss;

@@ -55,12 +55,13 @@ use crate::dynamics::{self, JoinStrategy};
 use crate::{
     fortz_thorup, LoadTracker, Request, ServiceForest, SofInstance, SofdaConfig, SolveError, Solver,
 };
+use serde::{Deserialize, Serialize};
 use sof_graph::{Cost, EdgeId, NodeId};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// How the session re-embeds when the served group changes.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EmbedMode {
     /// Re-run the solver from scratch on every arrival (the seed behavior
     /// of Fig. 12; the comparison baseline).
@@ -71,15 +72,59 @@ pub enum EmbedMode {
     Incremental,
 }
 
+/// What "drift" means for the full-rebuild fallback.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftPolicy {
+    /// Rebuild once the destinations churned since the last full solve
+    /// reach `rebuild_drift × |D|` — cheap bookkeeping, but blind to how
+    /// much quality the incremental operations actually gave up.
+    #[default]
+    ChurnCount,
+    /// Rebuild once the standing forest's congestion-aware cost diverges
+    /// to `rebuild_drift ×` the cost measured right after the last full
+    /// solve. Tracks solution quality directly: a run of cheap joins never
+    /// triggers a pointless rebuild, while a few expensive attachments do.
+    CostDrift,
+}
+
+impl DriftPolicy {
+    /// The spec-file name of this policy (`"churn"` / `"cost"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DriftPolicy::ChurnCount => "churn",
+            DriftPolicy::CostDrift => "cost",
+        }
+    }
+
+    /// Parses a spec-file name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown policy and the valid names.
+    pub fn from_name(name: &str) -> Result<DriftPolicy, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "churn" | "churn-count" => Ok(DriftPolicy::ChurnCount),
+            "cost" | "cost-drift" => Ok(DriftPolicy::CostDrift),
+            other => Err(format!(
+                "unknown drift policy '{other}' (expected 'churn' or 'cost')"
+            )),
+        }
+    }
+}
+
 /// Tuning knobs for an [`OnlineSession`].
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct OnlineConfig {
     /// Re-embedding strategy.
     pub mode: EmbedMode,
-    /// Full-rebuild fallback: rebuild once the destinations churned since
-    /// the last solve reach `rebuild_drift × |D|`. Lower values track the
-    /// solver's quality more closely; higher values are faster.
+    /// Full-rebuild fallback: rebuild once the accumulated drift (measured
+    /// per [`DriftPolicy`]) reaches this multiple — of `|D|` for
+    /// [`DriftPolicy::ChurnCount`], of the last full solve's cost for
+    /// [`DriftPolicy::CostDrift`]. Lower values track the solver's quality
+    /// more closely; higher values are faster.
     pub rebuild_drift: f64,
+    /// Which drift metric arms the rebuild fallback.
+    pub drift_policy: DriftPolicy,
     /// Run [`dynamics::reroute_all`] every this many arrivals, repairing
     /// routes that congestion made expensive (`0` = never).
     pub reroute_every: usize,
@@ -98,6 +143,7 @@ impl Default for OnlineConfig {
         OnlineConfig {
             mode: EmbedMode::Incremental,
             rebuild_drift: 2.0,
+            drift_policy: DriftPolicy::ChurnCount,
             reroute_every: 6,
             join: JoinStrategy::TailAttach,
             link_capacity: 100.0,
@@ -117,6 +163,12 @@ impl OnlineConfig {
     /// Replaces the drift threshold.
     pub fn with_rebuild_drift(mut self, drift: f64) -> OnlineConfig {
         self.rebuild_drift = drift;
+        self
+    }
+
+    /// Replaces the drift policy.
+    pub fn with_drift_policy(mut self, policy: DriftPolicy) -> OnlineConfig {
+        self.drift_policy = policy;
         self
     }
 }
@@ -139,6 +191,8 @@ pub struct OnlineStats {
     /// Incremental attempts abandoned for a rebuild (dynamics error or
     /// validation failure).
     pub fallbacks: usize,
+    /// VMs marked failed via [`OnlineSession::fail_vm`].
+    pub vm_failures: usize,
 }
 
 /// What one [`OnlineSession::arrive`] did.
@@ -158,6 +212,13 @@ pub struct ArrivalReport {
     pub millis: f64,
 }
 
+/// Setup cost assigned to failed VMs: finite (so the convex congestion
+/// arithmetic stays well-behaved) but far beyond any real setup cost, so
+/// every solver routes around the failure when any alternative exists.
+fn failed_vm_cost() -> Cost {
+    Cost::new(1e9)
+}
+
 /// An incremental online embedding session: one solver, one standing
 /// forest, congestion-aware costs. See the [module docs](self) for the
 /// lifecycle and an example.
@@ -175,6 +236,11 @@ pub struct OnlineSession {
     forest: Option<ServiceForest>,
     accumulated: f64,
     churn_since_solve: usize,
+    /// Standing forest cost measured right after the last full solve
+    /// (the [`DriftPolicy::CostDrift`] baseline; 0 until first solve).
+    cost_at_solve: f64,
+    /// Standing forest cost at the latest recharge.
+    last_cost: f64,
     stats: OnlineStats,
 }
 
@@ -209,6 +275,8 @@ impl OnlineSession {
             forest: None,
             accumulated: 0.0,
             churn_since_solve: 0,
+            cost_at_solve: 0.0,
+            last_cost: 0.0,
             stats: OnlineStats::default(),
         }
     }
@@ -286,6 +354,10 @@ impl OnlineSession {
         }
         let millis = t0.elapsed().as_secs_f64() * 1e3;
         let forest_cost = self.recharge();
+        if rebuilt {
+            self.cost_at_solve = forest_cost;
+        }
+        self.last_cost = forest_cost;
         self.accumulated += forest_cost;
         Ok(ArrivalReport {
             forest_cost,
@@ -314,7 +386,40 @@ impl OnlineSession {
             .map_err(|e| SolveError::Infeasible(e.to_string()))?;
         self.stats.leaves += 1;
         self.churn_since_solve += 1;
-        Ok(self.recharge())
+        let cost = self.recharge();
+        self.last_cost = cost;
+        Ok(cost)
+    }
+
+    /// Injects a VM failure: `vm`'s setup cost is raised to a prohibitive
+    /// level so no future embedding selects it, and if the standing forest
+    /// currently runs a VNF on it the forest is dropped — the next
+    /// [`arrive`](OnlineSession::arrive) then rebuilds around the failure.
+    ///
+    /// Returns `true` when the standing forest was using the VM (i.e. the
+    /// failure actually disrupted service).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when `vm` is not a VM of this network.
+    pub fn fail_vm(&mut self, vm: NodeId) -> Result<bool, SolveError> {
+        let slot = self
+            .base_vm_costs
+            .iter_mut()
+            .find(|(v, _)| *v == vm)
+            .ok_or_else(|| SolveError::Infeasible(format!("{vm} is not a VM")))?;
+        slot.1 = failed_vm_cost();
+        self.stats.vm_failures += 1;
+        let disrupted = self
+            .forest
+            .as_ref()
+            .and_then(|f| f.enabled_vms().ok())
+            .is_some_and(|used| used.contains_key(&vm));
+        if disrupted {
+            self.forest = None;
+        }
+        self.refresh_costs();
+        Ok(disrupted)
     }
 
     /// Attempts the incremental path; `false` means the caller must do a
@@ -338,8 +443,17 @@ impl OnlineSession {
         let to_leave: Vec<NodeId> = old.difference(&new).copied().collect();
         let to_join: Vec<NodeId> = new.difference(&old).copied().collect();
         let churn = to_leave.len() + to_join.len();
-        let drift_limit = self.opts.rebuild_drift * new.len().max(1) as f64;
-        if (self.churn_since_solve + churn) as f64 >= drift_limit {
+        let drifted = match self.opts.drift_policy {
+            DriftPolicy::ChurnCount => {
+                let drift_limit = self.opts.rebuild_drift * new.len().max(1) as f64;
+                (self.churn_since_solve + churn) as f64 >= drift_limit
+            }
+            DriftPolicy::CostDrift => {
+                self.cost_at_solve > 0.0
+                    && self.last_cost >= self.opts.rebuild_drift * self.cost_at_solve
+            }
+        };
+        if drifted {
             return false;
         }
         let mut forest = self.forest.clone().expect("checked above");
@@ -541,6 +655,90 @@ mod tests {
         req.sources.truncate(1);
         let r = s.arrive(req).unwrap();
         assert!(r.rebuilt);
+    }
+
+    #[test]
+    fn cost_drift_policy_rebuilds_on_divergence_not_churn() {
+        let inst = grid_instance();
+        // Threshold 1.0 with the CostDrift policy: any arrival whose
+        // standing cost is at or above the last full solve's cost rebuilds.
+        // Congestion pricing guarantees that immediately (the forest's own
+        // load surcharges its links), so the second arrival must rebuild
+        // even though its churn (1 join) is far below the churn-count
+        // default of 2 × |D|.
+        let opts = OnlineConfig::default()
+            .with_drift_policy(DriftPolicy::CostDrift)
+            .with_rebuild_drift(1.0);
+        let mut s = OnlineSession::new(inst, Box::new(Sofda), SofdaConfig::default(), opts);
+        let base = s.instance().request.destinations.clone();
+        let extra = s
+            .instance()
+            .network
+            .graph()
+            .nodes()
+            .find(|n| !base.contains(n) && !s.instance().request.sources.contains(n))
+            .unwrap();
+        let r1 = s.arrive(snapshot(s.instance(), base.clone())).unwrap();
+        assert!(r1.rebuilt);
+        let mut grown = base.clone();
+        grown.push(extra);
+        let r2 = s.arrive(snapshot(s.instance(), grown.clone())).unwrap();
+        assert!(r2.rebuilt, "cost at threshold 1.0 must force a rebuild");
+
+        // A generous threshold keeps the same arrival incremental: the
+        // policy reacts to cost divergence, not to the churn count.
+        let opts = OnlineConfig::default()
+            .with_drift_policy(DriftPolicy::CostDrift)
+            .with_rebuild_drift(1e6);
+        let mut s = OnlineSession::new(
+            grid_instance(),
+            Box::new(Sofda),
+            SofdaConfig::default(),
+            opts,
+        );
+        s.arrive(snapshot(s.instance(), base.clone())).unwrap();
+        let r2 = s.arrive(snapshot(s.instance(), grown)).unwrap();
+        assert!(!r2.rebuilt, "far-from-divergence arrivals stay incremental");
+    }
+
+    #[test]
+    fn drift_policy_names_round_trip() {
+        for policy in [DriftPolicy::ChurnCount, DriftPolicy::CostDrift] {
+            assert_eq!(DriftPolicy::from_name(policy.as_str()).unwrap(), policy);
+        }
+        let err = DriftPolicy::from_name("entropy").unwrap_err();
+        assert!(err.contains("'entropy'") && err.contains("churn"), "{err}");
+    }
+
+    #[test]
+    fn failed_vm_disrupts_service_and_is_avoided_afterwards() {
+        let mut s = session(EmbedMode::Incremental);
+        let base = s.instance().request.destinations.clone();
+        s.arrive(snapshot(s.instance(), base.clone())).unwrap();
+        let used: Vec<NodeId> = s
+            .forest()
+            .unwrap()
+            .enabled_vms()
+            .unwrap()
+            .keys()
+            .copied()
+            .collect();
+        assert!(!used.is_empty());
+        let disrupted = s.fail_vm(used[0]).unwrap();
+        assert!(disrupted, "forest was using the VM");
+        assert!(s.forest().is_none(), "standing forest dropped");
+        assert_eq!(s.stats().vm_failures, 1);
+        // The next arrival rebuilds and routes around the failed VM.
+        let r = s.arrive(snapshot(s.instance(), base)).unwrap();
+        assert!(r.rebuilt);
+        let rebuilt_vms = s.forest().unwrap().enabled_vms().unwrap();
+        assert!(
+            !rebuilt_vms.contains_key(&used[0]),
+            "failed VM re-selected despite its prohibitive cost"
+        );
+        // Failing a non-VM errors cleanly.
+        let not_vm = s.instance().request.sources[0];
+        assert!(s.fail_vm(not_vm).is_err());
     }
 
     #[test]

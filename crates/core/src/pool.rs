@@ -84,6 +84,12 @@ impl SessionPool {
         &self.sessions
     }
 
+    /// Mutable access to the sessions, in pool order (e.g. for injecting
+    /// failures between steps).
+    pub fn sessions_mut(&mut self) -> &mut [OnlineSession] {
+        &mut self.sessions
+    }
+
     /// Consumes the pool, returning its sessions.
     pub fn into_sessions(self) -> Vec<OnlineSession> {
         self.sessions

@@ -1,0 +1,922 @@
+//! The spec-to-engine compiler: [`run_spec`] turns a validated
+//! [`ScenarioSpec`] into a [`RunReport`] by driving the existing
+//! machinery — [`sof_bench::sweep_tables`] / [`sof_bench::average_with`]
+//! for one-shot workloads, [`sof_core::OnlineSession`] /
+//! [`sof_core::SessionPool`] for online ones, and the flow-level QoE
+//! simulator for the testbed table.
+//!
+//! Every numeric result is deterministic for a fixed spec + seed and any
+//! thread count; only fields tagged as timings vary.
+
+use crate::report::{
+    Cell, Detail, ExtraRow, OnlineDetail, OnlineSolverStats, PoolDetail, ReportMeta, RunReport,
+    Section, Table, TableRow,
+};
+use crate::spec::{
+    ChurnSpec, FailureSpec, GridMetric, OnlineGroup, ScenarioSpec, SpecError, Workload,
+};
+use sof_bench::{ParamField, SweepAxis};
+use sof_core::{
+    fortz_thorup, EmbedMode, OnlineSession, Request, ServiceChain, SessionPool, SofInstance, Solver,
+};
+use sof_graph::{Cost, NodeId, Rng64};
+use sof_sim::{simulate_sessions, ChurnStream, EnvironmentProfile, PlayerConfig, Session};
+use sof_topo::{build_instance, build_named, display_label, Topology};
+use std::time::Instant;
+
+/// Execution knobs that are not part of the scenario itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    /// Worker threads for parallel stages (`0` = the configured default,
+    /// [`sof_par::current_threads`]). Never changes numeric results.
+    pub threads: usize,
+    /// Include wall-clock measurements in the JSONL output.
+    pub timings: bool,
+    /// Phrase skip-notes in terms of the legacy binaries' flags (the
+    /// shims set this to stay byte-identical to the historical output);
+    /// off, notes reference the spec keys instead.
+    pub legacy_notes: bool,
+}
+
+fn solver_by_name(name: &str) -> Result<Box<dyn Solver>, SpecError> {
+    sof_solvers::by_name(name)
+        .ok_or_else(|| SpecError(format!("solver '{name}' vanished from the registry")))
+}
+
+fn resolve_solvers(names: &[String]) -> Result<Vec<Box<dyn Solver>>, SpecError> {
+    names.iter().map(|n| solver_by_name(n)).collect()
+}
+
+/// Runs a validated spec and returns the structured report.
+///
+/// # Errors
+///
+/// [`SpecError`] when the spec references something the engine cannot
+/// resolve (a solver dropped from the registry, an unbuildable topology).
+/// Per-point solver failures are **not** errors: they surface as missing
+/// cells and warnings, exactly as the legacy binaries handled them.
+pub fn run_spec(spec: &ScenarioSpec, opts: &RunOptions) -> Result<RunReport, SpecError> {
+    spec.validate()?;
+    match &spec.workload {
+        Workload::CostCurve {
+            points,
+            step,
+            capacity,
+        } => run_cost_curve(spec, *points, *step, *capacity),
+        Workload::Sweep {
+            solvers,
+            seeds,
+            seed,
+            axes,
+        } => run_sweep(spec, solvers, *seeds, *seed, axes, opts),
+        Workload::Grid {
+            solver,
+            seeds,
+            seed,
+            rows,
+            cols,
+            metrics,
+        } => run_grid(spec, solver, *seeds, *seed, rows, cols, metrics, opts),
+        Workload::Runtime {
+            solver,
+            seed,
+            sizes,
+            sources,
+        } => run_runtime(spec, solver, *seed, sizes, sources),
+        Workload::Qoe {
+            solvers,
+            seeds,
+            seed,
+        } => run_qoe(spec, solvers, *seeds, *seed),
+        Workload::Online {
+            seed,
+            solvers,
+            sessions,
+            groups,
+            failures,
+        } => run_online(
+            spec,
+            *seed,
+            solvers,
+            *sessions,
+            groups,
+            failures.as_ref(),
+            opts,
+        ),
+    }
+}
+
+fn meta(
+    spec: &ScenarioSpec,
+    heading: String,
+    seed: u64,
+    seeds: u64,
+    solvers: Vec<String>,
+) -> ReportMeta {
+    ReportMeta {
+        spec: spec.name.clone(),
+        heading,
+        seed,
+        seeds,
+        solvers,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cost-curve (Fig. 7)
+// ---------------------------------------------------------------------------
+
+fn run_cost_curve(
+    spec: &ScenarioSpec,
+    points: usize,
+    step: f64,
+    capacity: f64,
+) -> Result<RunReport, SpecError> {
+    let rows = (0..=points)
+        .map(|i| {
+            let l = i as f64 * step;
+            TableRow {
+                label: format!("{l:.2}"),
+                x: Some(l),
+                cells: vec![Cell::num(Some(fortz_thorup(l, capacity).value()), 3)],
+            }
+        })
+        .collect();
+    Ok(RunReport {
+        meta: meta(
+            spec,
+            format!("{} — {}", spec.label, spec.title),
+            0,
+            1,
+            Vec::new(),
+        ),
+        sections: vec![Section {
+            id: "curve".into(),
+            heading: None,
+            table: Some(Table {
+                col0: "load".into(),
+                columns: vec!["cost".into()],
+                rows,
+            }),
+            extra_rows: Vec::new(),
+            detail: Detail::None,
+        }],
+    })
+}
+
+// ---------------------------------------------------------------------------
+// sweep (Figs. 8–10)
+// ---------------------------------------------------------------------------
+
+fn sweep_heading(spec: &ScenarioSpec, seeds: u64) -> String {
+    if spec.topology.name == "inet" {
+        let nodes = spec.topology.nodes.unwrap_or(5000);
+        format!(
+            "{} — {} ({nodes} nodes, seeds = {seeds})",
+            spec.label, spec.title
+        )
+    } else {
+        format!("{} — {} (seeds = {seeds})", spec.label, spec.title)
+    }
+}
+
+fn run_sweep(
+    spec: &ScenarioSpec,
+    solver_names: &[String],
+    seeds: u64,
+    seed: u64,
+    axes: &[SweepAxis],
+    opts: &RunOptions,
+) -> Result<RunReport, SpecError> {
+    let topo = build_named(&spec.topology, seed).map_err(SpecError)?;
+    let algos = resolve_solvers(solver_names)?;
+    let topo_label = display_label(&spec.topology.name).to_string();
+    let tables = sof_bench::sweep_tables(
+        &topo,
+        &spec.params,
+        &spec.sofda,
+        &algos,
+        axes,
+        seeds,
+        seed,
+        opts.threads,
+    );
+    // Section ids must be unique for JSONL consumers even when two axes
+    // share a label (e.g. the same field swept over two value sets).
+    let mut seen_ids: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let sections = tables
+        .into_iter()
+        .map(|t| {
+            let base = format!("cost vs {}", t.axis);
+            let n = seen_ids.entry(base.clone()).or_insert(0);
+            *n += 1;
+            let id = if *n == 1 {
+                base
+            } else {
+                format!("{base} #{n}")
+            };
+            Section {
+                id,
+                heading: Some(format!(
+                    "{} — cost vs {} ({topo_label})",
+                    spec.label, t.axis
+                )),
+                table: Some(Table {
+                    col0: t.axis.clone(),
+                    columns: solver_names.to_vec(),
+                    rows: t
+                        .values
+                        .iter()
+                        .zip(&t.rows)
+                        .map(|(&v, row)| TableRow {
+                            label: v.to_string(),
+                            x: Some(v as f64),
+                            cells: row.iter().map(|&c| Cell::num(c, 1)).collect(),
+                        })
+                        .collect(),
+                }),
+                extra_rows: Vec::new(),
+                detail: Detail::None,
+            }
+        })
+        .collect();
+    Ok(RunReport {
+        meta: meta(
+            spec,
+            sweep_heading(spec, seeds),
+            seed,
+            seeds,
+            solver_names.to_vec(),
+        ),
+        sections,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// grid (Fig. 11)
+// ---------------------------------------------------------------------------
+
+fn grid_row_label(field: ParamField, v: usize) -> String {
+    match field {
+        ParamField::SetupScale => format!("{v}x"),
+        _ => v.to_string(),
+    }
+}
+
+fn grid_col_label(field: ParamField, v: usize) -> String {
+    match field {
+        ParamField::ChainLen => format!("|C|={v}"),
+        ParamField::Sources => format!("|S|={v}"),
+        ParamField::Destinations => format!("|D|={v}"),
+        ParamField::VmCount => format!("VMs={v}"),
+        ParamField::SetupScale => format!("{v}x"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_grid(
+    spec: &ScenarioSpec,
+    solver_name: &str,
+    seeds: u64,
+    seed: u64,
+    rows: &SweepAxis,
+    cols: &SweepAxis,
+    metrics: &[GridMetric],
+    opts: &RunOptions,
+) -> Result<RunReport, SpecError> {
+    let topo = build_named(&spec.topology, seed).map_err(SpecError)?;
+    let solver = solver_by_name(solver_name)?;
+    let topo_label = display_label(&spec.topology.name);
+    // One measurement per grid cell, shared by every metric (the legacy
+    // binary re-ran the averaging per metric; results are deterministic,
+    // so one pass is bit-identical and twice as fast).
+    let mut measured: Vec<Vec<Option<(f64, f64, f64)>>> = Vec::with_capacity(rows.values.len());
+    for &rv in &rows.values {
+        let mut row = Vec::with_capacity(cols.values.len());
+        for &cv in &cols.values {
+            let make = |s: u64| {
+                let mut p = spec.params.with_seed(s);
+                rows.field.apply(&mut p, rv);
+                cols.field.apply(&mut p, cv);
+                build_instance(&topo, &p)
+            };
+            row.push(sof_bench::average_with(
+                solver.as_ref(),
+                seeds,
+                seed,
+                &spec.sofda,
+                make,
+                opts.threads,
+            ));
+        }
+        measured.push(row);
+    }
+    let sections = metrics
+        .iter()
+        .map(|metric| Section {
+            id: metric.display().to_string(),
+            heading: Some(format!("{} — {}", spec.label, metric.display())),
+            table: Some(Table {
+                col0: rows.label.clone(),
+                columns: cols
+                    .values
+                    .iter()
+                    .map(|&v| grid_col_label(cols.field, v))
+                    .collect(),
+                rows: rows
+                    .values
+                    .iter()
+                    .zip(&measured)
+                    .map(|(&rv, row)| TableRow {
+                        label: grid_row_label(rows.field, rv),
+                        x: Some(rv as f64),
+                        cells: row
+                            .iter()
+                            .map(|m| match metric {
+                                GridMetric::Cost => Cell::num(m.map(|(c, _, _)| c), 1),
+                                GridMetric::UsedVms => Cell::num(m.map(|(_, v, _)| v), 2),
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            }),
+            extra_rows: Vec::new(),
+            detail: Detail::None,
+        })
+        .collect();
+    Ok(RunReport {
+        meta: meta(
+            spec,
+            format!(
+                "{} — {} ({solver_name}, {topo_label}, seeds = {seeds})",
+                spec.label, spec.title
+            ),
+            seed,
+            seeds,
+            vec![solver_name.to_string()],
+        ),
+        sections,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// runtime (Table I)
+// ---------------------------------------------------------------------------
+
+fn run_runtime(
+    spec: &ScenarioSpec,
+    solver_name: &str,
+    seed: u64,
+    sizes: &[usize],
+    sources: &[usize],
+) -> Result<RunReport, SpecError> {
+    let solver = solver_by_name(solver_name)?;
+    let mut rows = Vec::with_capacity(sizes.len());
+    let mut extra_rows = Vec::new();
+    for &nodes in sizes {
+        let links = nodes * 2;
+        let dcs = (nodes * 2) / 5;
+        let topo = sof_topo::inet_sized(nodes, links, dcs, seed);
+        let mut cells = Vec::with_capacity(sources.len());
+        for &s in sources {
+            let mut p = spec.params.with_seed(seed + s as u64);
+            p.sources = s;
+            let inst = build_instance(&topo, &p);
+            match sof_bench::run(solver.as_ref(), &inst, &spec.sofda) {
+                Some(r) => {
+                    cells.push(Cell::timing(r.millis / 1e3, 2));
+                    extra_rows.push(ExtraRow {
+                        x: nodes.to_string(),
+                        col: format!("|S|={s}"),
+                        metric: "cost".into(),
+                        value: Some(r.cost),
+                        timing: false,
+                    });
+                }
+                None => cells.push(Cell::num(None, 2)),
+            }
+        }
+        rows.push(TableRow {
+            label: nodes.to_string(),
+            x: Some(nodes as f64),
+            cells,
+        });
+    }
+    Ok(RunReport {
+        meta: meta(
+            spec,
+            format!("{} — {}", spec.label, spec.title),
+            seed,
+            1,
+            vec![solver_name.to_string()],
+        ),
+        sections: vec![Section {
+            id: "runtime".into(),
+            heading: None,
+            table: Some(Table {
+                col0: "|V|".into(),
+                columns: sources.iter().map(|s| format!("|S|={s}")).collect(),
+                rows,
+            }),
+            extra_rows,
+            detail: Detail::None,
+        }],
+    })
+}
+
+// ---------------------------------------------------------------------------
+// qoe (Table II)
+// ---------------------------------------------------------------------------
+
+fn run_qoe(
+    spec: &ScenarioSpec,
+    solver_names: &[String],
+    seeds: u64,
+    base: u64,
+) -> Result<RunReport, SpecError> {
+    let algos = resolve_solvers(solver_names)?;
+    let player = PlayerConfig::default();
+    let mut rows = Vec::with_capacity(algos.len());
+    for algo in &algos {
+        let mut sums = [0.0f64; 4];
+        let mut n = 0.0;
+        for i in 0..seeds {
+            let seed = base + i;
+            let mut rng = Rng64::seed_from(seed);
+            let topo = sof_topo::testbed();
+            // Build the instance: every node may host one VNF (paper
+            // §VIII-D), costs uniform; two random sources, four random
+            // destinations.
+            let mut net = sof_core::Network::all_switches(topo.graph.clone());
+            for v in 0..14 {
+                let vm = net.add_node(sof_core::NodeKind::Vm, Cost::new(1.0));
+                net.graph_mut().add_edge(vm, NodeId::new(v), Cost::ZERO);
+            }
+            let picks = rng.sample_indices(14, 6);
+            let inst = SofInstance::new(
+                net,
+                Request::new(
+                    vec![NodeId::new(picks[0]), NodeId::new(picks[1])],
+                    picks[2..6].iter().map(|&i| NodeId::new(i)).collect(),
+                    ServiceChain::from_names(["transcoder", "watermark"]),
+                ),
+            )
+            .expect("valid instance");
+            let Some(r) = sof_bench::run(algo.as_ref(), &inst, &spec.sofda.with_seed(seed)) else {
+                continue;
+            };
+            let forest = r.outcome.expect("present").forest;
+            // Available bandwidth 4.5–9 Mbps per link (congestion
+            // emulation); VM stub links are uncongested.
+            let mut caps: std::collections::HashMap<sof_graph::EdgeId, f64> =
+                std::collections::HashMap::new();
+            for (e, edge) in inst.network.graph().edges() {
+                let stub = edge.u.index() >= 14 || edge.v.index() >= 14;
+                caps.insert(
+                    e,
+                    if stub {
+                        1000.0
+                    } else {
+                        rng.range_f64(4.5, 9.0)
+                    },
+                );
+            }
+            // Multicast: one download session per service tree (walks from
+            // the same source share link bandwidth as a single stream copy).
+            let mut by_tree: std::collections::BTreeMap<
+                NodeId,
+                std::collections::BTreeSet<sof_graph::EdgeId>,
+            > = Default::default();
+            for w in &forest.walks {
+                let entry = by_tree.entry(w.source).or_default();
+                for p in w.nodes.windows(2) {
+                    if let Some(e) = inst.network.graph().edge_between(p[0], p[1]) {
+                        entry.insert(e);
+                    }
+                }
+            }
+            let sessions: Vec<Session> = by_tree
+                .values()
+                .map(|links| Session {
+                    links: links.iter().copied().collect(),
+                })
+                .collect();
+            for (ei, env) in [
+                EnvironmentProfile::hardware_testbed(),
+                EnvironmentProfile::emulab(),
+            ]
+            .iter()
+            .enumerate()
+            {
+                let qoe = simulate_sessions(&sessions, &caps, &player, env, 1.25);
+                let fin: Vec<_> = qoe
+                    .iter()
+                    .filter(|q| q.startup_latency_s.is_finite())
+                    .collect();
+                if fin.is_empty() {
+                    continue;
+                }
+                let su: f64 =
+                    fin.iter().map(|q| q.startup_latency_s).sum::<f64>() / fin.len() as f64;
+                let rb: f64 = fin.iter().map(|q| q.rebuffering_s).sum::<f64>() / fin.len() as f64;
+                sums[ei] += su;
+                sums[2 + ei] += rb;
+            }
+            n += 1.0;
+        }
+        rows.push(TableRow {
+            label: algo.name().to_string(),
+            x: None,
+            cells: sums
+                .iter()
+                .map(|&s| Cell {
+                    value: Some(s / n),
+                    prec: 1,
+                    suffix: " s",
+                    timing: false,
+                })
+                .collect(),
+        });
+    }
+    Ok(RunReport {
+        meta: meta(
+            spec,
+            format!("{} — {}", spec.label, spec.title),
+            base,
+            seeds,
+            solver_names.to_vec(),
+        ),
+        sections: vec![Section {
+            id: "qoe".into(),
+            heading: None,
+            table: Some(Table {
+                col0: "Algorithm".into(),
+                columns: vec![
+                    "Startup (ours)".into(),
+                    "Startup (emulab)".into(),
+                    "Rebuffer (ours)".into(),
+                    "Rebuffer (emulab)".into(),
+                ],
+                rows,
+            }),
+            extra_rows: Vec::new(),
+            detail: Detail::None,
+        }],
+    })
+}
+
+// ---------------------------------------------------------------------------
+// online (Fig. 12)
+// ---------------------------------------------------------------------------
+
+/// Fails up to `count` VMs currently carrying VNFs in the session
+/// (deterministically: the lowest-id enabled VMs). Returns how many were
+/// actually failed.
+fn inject_vm_failures(session: &mut OnlineSession, count: usize) -> usize {
+    let Some(used) = session.forest().and_then(|f| f.enabled_vms().ok()) else {
+        return 0;
+    };
+    let victims: Vec<NodeId> = used.keys().copied().take(count).collect();
+    let mut injected = 0;
+    for vm in victims {
+        if session.fail_vm(vm).is_ok() {
+            injected += 1;
+        }
+    }
+    injected
+}
+
+fn group_topology(
+    spec: &ScenarioSpec,
+    group: &OnlineGroup,
+    seed: u64,
+) -> Result<Topology, SpecError> {
+    let t = group.topology.as_ref().unwrap_or(&spec.topology);
+    build_named(t, seed).map_err(SpecError)
+}
+
+fn group_instance(
+    spec: &ScenarioSpec,
+    group: &OnlineGroup,
+    topo: &Topology,
+    seed: u64,
+) -> SofInstance {
+    let mut p = spec.params.with_seed(seed);
+    p.vm_count = topo.dc_nodes.len() * group.vms_per_dc;
+    p.chain_len = group.churn.chain_len;
+    build_instance(topo, &p)
+}
+
+fn run_online(
+    spec: &ScenarioSpec,
+    seed: u64,
+    solver_names: &[String],
+    sessions: usize,
+    groups: &[OnlineGroup],
+    failures: Option<&FailureSpec>,
+    opts: &RunOptions,
+) -> Result<RunReport, SpecError> {
+    let heading = if sessions > 1 {
+        format!(
+            "{} — {} ({sessions} concurrent sessions per topology)",
+            spec.label, spec.title
+        )
+    } else {
+        format!(
+            "{} — {} (accumulative cost, viewer churn)",
+            spec.label, spec.title
+        )
+    };
+    let mut report_solvers: Vec<String> = solver_names.to_vec();
+    if sessions == 1 && groups.iter().any(|g| g.scratch) {
+        report_solvers.insert(0, "SOFDA (scratch)".into());
+    }
+    let mut sections = Vec::with_capacity(groups.len());
+    for (gi, group) in groups.iter().enumerate() {
+        let section = if sessions > 1 {
+            run_pool_group(
+                spec,
+                gi,
+                group,
+                seed,
+                solver_names,
+                sessions,
+                failures,
+                opts,
+            )?
+        } else {
+            run_single_group(spec, gi, group, seed, solver_names, failures, opts)?
+        };
+        sections.push(section);
+    }
+    Ok(RunReport {
+        meta: meta(spec, heading, seed, 1, report_solvers),
+        sections,
+    })
+}
+
+fn section_id(gi: usize, topo_name: &str) -> String {
+    format!("group{gi}:{topo_name}")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_single_group(
+    spec: &ScenarioSpec,
+    gi: usize,
+    group: &OnlineGroup,
+    seed: u64,
+    solver_names: &[String],
+    failures: Option<&FailureSpec>,
+    opts: &RunOptions,
+) -> Result<Section, SpecError> {
+    let topo = group_topology(spec, group, seed)?;
+    if group.requests == 0 {
+        return Ok(Section {
+            id: section_id(gi, topo.name),
+            heading: Some(format!(
+                "{} — {} (0 arrivals requested — skipped)",
+                spec.label, topo.name
+            )),
+            table: None,
+            extra_rows: Vec::new(),
+            detail: Detail::None,
+        });
+    }
+    let churn: ChurnSpec = group.churn.clone();
+    let mut stream = ChurnStream::new(churn.to_params(), topo.graph.node_count(), seed);
+    let mut events = vec![stream.current().clone()];
+    while events.len() < group.requests {
+        events.push(stream.next_request());
+    }
+    let online_config = spec.online.to_config(stream.demand());
+
+    let mut labels: Vec<String> = Vec::new();
+    let mut engines: Vec<OnlineSession> = Vec::new();
+    if group.scratch {
+        labels.push("SOFDA (scratch)".into());
+        engines.push(OnlineSession::new(
+            group_instance(spec, group, &topo, seed),
+            solver_by_name("SOFDA")?,
+            spec.sofda.with_seed(seed),
+            online_config.with_mode(EmbedMode::FromScratch),
+        ));
+    }
+    for name in solver_names {
+        let solver = solver_by_name(name)?;
+        labels.push(solver.name().into());
+        engines.push(OnlineSession::new(
+            group_instance(spec, group, &topo, seed),
+            solver,
+            spec.sofda.with_seed(seed),
+            online_config,
+        ));
+    }
+
+    let mut stats: Vec<OnlineSolverStats> = labels
+        .iter()
+        .map(|l| OnlineSolverStats {
+            label: l.clone(),
+            ..OnlineSolverStats::default()
+        })
+        .collect();
+    let mut rows = Vec::new();
+    let mut warnings = Vec::new();
+    let mut arrival_failures = 0usize;
+    let mut vm_failures = 0usize;
+    for (ai, request) in events.iter().enumerate() {
+        let arrival = ai + 1;
+        for (si, session) in engines.iter_mut().enumerate() {
+            match session.arrive(request.clone()) {
+                Ok(report) => {
+                    let t = &mut stats[si];
+                    if report.rebuilt {
+                        t.solve_ms += report.millis;
+                        t.solve_n += 1;
+                    } else {
+                        t.inc_ms += report.millis;
+                        t.inc_n += 1;
+                    }
+                }
+                Err(e) => {
+                    arrival_failures += 1;
+                    warnings.push(format!(
+                        "{} failed on {} arrival {arrival}: {e}",
+                        labels[si], topo.name
+                    ));
+                }
+            }
+        }
+        if let Some(f) = failures {
+            if arrival.is_multiple_of(f.every) && arrival < events.len() {
+                for session in engines.iter_mut() {
+                    vm_failures += inject_vm_failures(session, f.count);
+                }
+            }
+        }
+        if arrival % 5 == 0 || arrival == events.len() {
+            rows.push(TableRow {
+                label: arrival.to_string(),
+                x: Some(arrival as f64),
+                cells: engines
+                    .iter()
+                    .map(|s| Cell::num(Some(s.accumulated_cost()), 0))
+                    .collect(),
+            });
+        }
+    }
+    for (session, t) in engines.iter().zip(&mut stats) {
+        let st = session.stats();
+        t.full_solves = st.full_solves;
+        t.incremental_events = st.incremental_events;
+        t.joins = st.joins;
+        t.leaves = st.leaves;
+        t.fallbacks = st.fallbacks;
+    }
+    let suffix = if group.scratch {
+        ""
+    } else if opts.legacy_notes {
+        // The historical fig12 wording, kept verbatim for shim parity.
+        "; from-scratch baseline skipped, pass --scratch 2 to run it"
+    } else {
+        "; from-scratch baseline skipped (set scratch = true in the spec to run it)"
+    };
+    Ok(Section {
+        id: section_id(gi, topo.name),
+        heading: Some(format!(
+            "{} — {} ({} arrivals, viewer churn{suffix})",
+            spec.label, topo.name, group.requests
+        )),
+        table: Some(Table {
+            col0: "#arrivals".into(),
+            columns: labels,
+            rows,
+        }),
+        extra_rows: Vec::new(),
+        detail: Detail::Online(OnlineDetail {
+            scratch: group.scratch,
+            failures: arrival_failures,
+            vm_failures,
+            sessions: stats,
+            warnings,
+        }),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_pool_group(
+    spec: &ScenarioSpec,
+    gi: usize,
+    group: &OnlineGroup,
+    seed: u64,
+    solver_names: &[String],
+    sessions: usize,
+    failures: Option<&FailureSpec>,
+    opts: &RunOptions,
+) -> Result<Section, SpecError> {
+    let topo = group_topology(spec, group, seed)?;
+    if group.requests == 0 {
+        return Ok(Section {
+            id: section_id(gi, topo.name),
+            heading: Some(format!(
+                "{} — {} (0 arrivals requested — skipped)",
+                spec.label, topo.name
+            )),
+            table: None,
+            extra_rows: Vec::new(),
+            detail: Detail::None,
+        });
+    }
+    let solver_name = solver_names.first().map(String::as_str).unwrap_or("SOFDA");
+    let churn = group.churn.to_params();
+    let mut streams: Vec<ChurnStream> = (0..sessions)
+        .map(|g| ChurnStream::new(churn, topo.graph.node_count(), seed + g as u64))
+        .collect();
+    let engines: Vec<OnlineSession> = (0..sessions)
+        .map(|g| -> Result<OnlineSession, SpecError> {
+            let group_seed = seed + g as u64;
+            Ok(OnlineSession::new(
+                group_instance(spec, group, &topo, group_seed),
+                solver_by_name(solver_name)?,
+                spec.sofda.with_seed(group_seed),
+                spec.online.to_config(churn.base.demand_mbps),
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut pool = SessionPool::new(engines).with_threads(opts.threads);
+    let mut rows = Vec::new();
+    let t0 = Instant::now();
+    let mut arrival_failures = 0usize;
+    let mut vm_failures = 0usize;
+    for step in 0..group.requests {
+        let snapshots: Vec<Request> = streams
+            .iter_mut()
+            .map(|s| {
+                if step == 0 {
+                    s.current().clone()
+                } else {
+                    s.next_request()
+                }
+            })
+            .collect();
+        arrival_failures += pool
+            .arrive_each(&snapshots)
+            .iter()
+            .filter(|r| r.is_err())
+            .count();
+        let arrival = step + 1;
+        if let Some(f) = failures {
+            if arrival.is_multiple_of(f.every) && arrival < group.requests {
+                for session in pool.sessions_mut() {
+                    vm_failures += inject_vm_failures(session, f.count);
+                }
+            }
+        }
+        if arrival % 5 == 0 || arrival == group.requests {
+            let total = pool.total_accumulated_cost();
+            rows.push(TableRow {
+                label: arrival.to_string(),
+                x: Some(arrival as f64),
+                cells: vec![
+                    Cell::num(Some(total), 0),
+                    Cell::num(Some(total / sessions as f64), 0),
+                ],
+            });
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let solves: usize = pool.sessions().iter().map(|s| s.stats().full_solves).sum();
+    let incremental: usize = pool
+        .sessions()
+        .iter()
+        .map(|s| s.stats().incremental_events)
+        .sum();
+    // Report the worker count the pool actually ran with: the explicit
+    // override when given, the configured default otherwise.
+    let worker_count = if opts.threads == 0 {
+        sof_par::current_threads()
+    } else {
+        sof_par::resolve_threads(opts.threads)
+    };
+    Ok(Section {
+        id: section_id(gi, topo.name),
+        heading: Some(format!(
+            "{} — {} ({sessions} concurrent sessions × {} arrivals, {worker_count} threads)",
+            spec.label, topo.name, group.requests,
+        )),
+        table: Some(Table {
+            col0: "#arrivals".into(),
+            columns: vec!["Σ accumulated cost".into(), "mean cost/session".into()],
+            rows,
+        }),
+        extra_rows: Vec::new(),
+        detail: Detail::Pool(PoolDetail {
+            groups: sessions,
+            requests: group.requests,
+            secs,
+            solves,
+            incremental,
+            failures: arrival_failures,
+            vm_failures,
+        }),
+    })
+}

@@ -1,0 +1,74 @@
+//! Bundled preset specs: every figure and table of the paper's evaluation
+//! as a checked-in `.toml` file under `crates/spec/specs/`, embedded into
+//! the binary so `sof run fig8` works anywhere.
+
+use crate::spec::{ScenarioSpec, SpecError};
+
+/// `(name, TOML source)` of every bundled preset, in evaluation order.
+pub const PRESETS: &[(&str, &str)] = &[
+    ("fig7", include_str!("../specs/fig7.toml")),
+    ("fig8", include_str!("../specs/fig8.toml")),
+    ("fig9", include_str!("../specs/fig9.toml")),
+    ("fig10", include_str!("../specs/fig10.toml")),
+    ("fig11", include_str!("../specs/fig11.toml")),
+    ("fig12", include_str!("../specs/fig12.toml")),
+    ("table1", include_str!("../specs/table1.toml")),
+    ("table2", include_str!("../specs/table2.toml")),
+    (
+        "inet-churn-failures",
+        include_str!("../specs/inet-churn-failures.toml"),
+    ),
+];
+
+/// The bundled preset names, in evaluation order.
+pub fn preset_names() -> Vec<&'static str> {
+    PRESETS.iter().map(|(n, _)| *n).collect()
+}
+
+/// The TOML source of a bundled preset.
+pub fn preset_source(name: &str) -> Option<&'static str> {
+    PRESETS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, src)| *src)
+}
+
+/// Parses a bundled preset. `None` for unknown names.
+///
+/// # Errors
+///
+/// [`SpecError`] if a bundled spec fails to parse — a build defect, caught
+/// by the crate tests.
+pub fn preset(name: &str) -> Option<Result<ScenarioSpec, SpecError>> {
+    preset_source(name).map(ScenarioSpec::from_toml)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_parses_validates_and_round_trips() {
+        for (name, src) in PRESETS {
+            let spec = ScenarioSpec::from_toml(src)
+                .unwrap_or_else(|e| panic!("preset {name} rejected: {e}"));
+            assert_eq!(&spec.name, name, "preset file name vs spec name");
+            spec.validate().unwrap();
+            // Lossless serialization: TOML and JSON round trips are the
+            // identity.
+            let again = ScenarioSpec::from_toml(&spec.to_toml())
+                .unwrap_or_else(|e| panic!("preset {name} TOML round trip: {e}"));
+            assert_eq!(spec, again, "{name} TOML round trip changed the spec");
+            let again = ScenarioSpec::from_json(&spec.to_json())
+                .unwrap_or_else(|e| panic!("preset {name} JSON round trip: {e}"));
+            assert_eq!(spec, again, "{name} JSON round trip changed the spec");
+        }
+    }
+
+    #[test]
+    fn preset_lookup() {
+        assert!(preset("fig8").is_some());
+        assert!(preset("fig99").is_none());
+        assert_eq!(preset_names().len(), PRESETS.len());
+    }
+}

@@ -1,0 +1,514 @@
+//! The structured result of running a [`crate::ScenarioSpec`]: a
+//! [`RunReport`] of per-point rows plus solver metadata, emitted either as
+//! deterministic JSON lines ([`write_jsonl`]) or as the legacy markdown
+//! the original fig/table binaries printed ([`render_markdown`]).
+//!
+//! Determinism contract: with `timings = false` (the default), the JSON
+//! lines are identical for a fixed spec + seed across runs, machines and
+//! thread counts — wall-clock measurements are tagged
+//! [`Cell::timing`]/[`ExtraRow::timing`] and only emitted when explicitly
+//! requested.
+
+use crate::value::{json_f64, quote_string};
+
+/// Run-level metadata (the JSONL header line).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReportMeta {
+    /// The spec's name.
+    pub spec: String,
+    /// The markdown H1 text (no `# ` prefix).
+    pub heading: String,
+    /// Base RNG seed in effect.
+    pub seed: u64,
+    /// Averaging width in effect.
+    pub seeds: u64,
+    /// Solver display names involved, in run order.
+    pub solvers: Vec<String>,
+}
+
+/// One table/figure cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Cell {
+    /// The measured value (`None` renders as `-` / JSON `null`).
+    pub value: Option<f64>,
+    /// Decimal places in markdown.
+    pub prec: usize,
+    /// Unit suffix in markdown (e.g. `" s"`).
+    pub suffix: &'static str,
+    /// Wall-clock measurement: excluded from JSONL unless requested.
+    pub timing: bool,
+}
+
+impl Cell {
+    /// A deterministic numeric cell.
+    pub fn num(value: Option<f64>, prec: usize) -> Cell {
+        Cell {
+            value,
+            prec,
+            suffix: "",
+            timing: false,
+        }
+    }
+
+    /// A wall-clock cell (markdown only, unless timings are requested).
+    pub fn timing(value: f64, prec: usize) -> Cell {
+        Cell {
+            value: Some(value),
+            prec,
+            suffix: "",
+            timing: true,
+        }
+    }
+
+    fn markdown(&self) -> String {
+        match self.value {
+            None => "-".into(),
+            Some(v) => format!("{v:.prec$}{}", self.suffix, prec = self.prec),
+        }
+    }
+}
+
+/// One table row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRow {
+    /// First-column label, preformatted (`"2"`, `"1x"`, `"0.05"`, a solver
+    /// name, …).
+    pub label: String,
+    /// Numeric form of the row position, when one exists (JSONL `x`).
+    pub x: Option<f64>,
+    /// One cell per column.
+    pub cells: Vec<Cell>,
+}
+
+/// A rendered table: header plus rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// First header cell (the axis label).
+    pub col0: String,
+    /// Remaining header cells.
+    pub columns: Vec<String>,
+    /// Rows, in output order.
+    pub rows: Vec<TableRow>,
+}
+
+/// A structured record that has no cell in the markdown table but belongs
+/// in the JSONL stream (e.g. Table I's deterministic costs next to its
+/// wall-clock seconds).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtraRow {
+    /// Row position label.
+    pub x: String,
+    /// Column/series label.
+    pub col: String,
+    /// Metric name (e.g. `"cost"`).
+    pub metric: String,
+    /// The value.
+    pub value: Option<f64>,
+    /// Wall-clock measurement: excluded from JSONL unless requested.
+    pub timing: bool,
+}
+
+/// Per-session statistics of one online run (Fig. 12's epilogue).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OnlineSolverStats {
+    /// Session label (solver name, possibly `"SOFDA (scratch)"`).
+    pub label: String,
+    /// Milliseconds spent in full solves.
+    pub solve_ms: f64,
+    /// Arrivals served by a full solve.
+    pub solve_n: usize,
+    /// Milliseconds spent in incremental events.
+    pub inc_ms: f64,
+    /// Arrivals served incrementally.
+    pub inc_n: usize,
+    /// Lifetime counter: full solver runs.
+    pub full_solves: usize,
+    /// Lifetime counter: purely incremental arrivals.
+    pub incremental_events: usize,
+    /// Lifetime counter: destinations joined incrementally.
+    pub joins: usize,
+    /// Lifetime counter: destinations removed incrementally.
+    pub leaves: usize,
+    /// Lifetime counter: incremental attempts abandoned for a rebuild.
+    pub fallbacks: usize,
+}
+
+impl OnlineSolverStats {
+    /// Total embedding milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.solve_ms + self.inc_ms
+    }
+}
+
+/// Epilogue data of a single-session online group.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OnlineDetail {
+    /// Whether a from-scratch baseline ran first.
+    pub scratch: bool,
+    /// Arrivals that failed (any session).
+    pub failures: usize,
+    /// Injected VM failures across all sessions.
+    pub vm_failures: usize,
+    /// Per-session statistics, in session order.
+    pub sessions: Vec<OnlineSolverStats>,
+    /// Failure warnings collected during the run (stderr material).
+    pub warnings: Vec<String>,
+}
+
+/// Epilogue data of a session-pool online group.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PoolDetail {
+    /// Concurrent sessions in the pool.
+    pub groups: usize,
+    /// Arrivals each session processed.
+    pub requests: usize,
+    /// Wall-clock seconds for the whole group.
+    pub secs: f64,
+    /// Total full solves across sessions.
+    pub solves: usize,
+    /// Total incremental events across sessions.
+    pub incremental: usize,
+    /// Total failed arrivals across sessions.
+    pub failures: usize,
+    /// Injected VM failures across all sessions.
+    pub vm_failures: usize,
+}
+
+/// Kind-specific epilogue attached to a section.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Detail {
+    /// Nothing beyond the table.
+    None,
+    /// Single-session online epilogue (timing summary, speedup lines).
+    Online(OnlineDetail),
+    /// Session-pool online epilogue (throughput summary).
+    Pool(PoolDetail),
+}
+
+/// One report section: an optional H2 heading, an optional table, and an
+/// optional kind-specific epilogue.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Section {
+    /// Stable identifier for JSONL rows (thread-count independent).
+    pub id: String,
+    /// Markdown H2 text (no `## ` prefix); `None` puts the table directly
+    /// under the H1.
+    pub heading: Option<String>,
+    /// The data table, if the section has one.
+    pub table: Option<Table>,
+    /// JSONL-only records.
+    pub extra_rows: Vec<ExtraRow>,
+    /// Epilogue.
+    pub detail: Detail,
+}
+
+/// The structured result of one spec run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Run-level metadata.
+    pub meta: ReportMeta,
+    /// Sections, in output order.
+    pub sections: Vec<Section>,
+}
+
+impl RunReport {
+    /// All failure warnings collected across sections (print these to
+    /// stderr — the legacy binaries did).
+    pub fn warnings(&self) -> Vec<&str> {
+        self.sections
+            .iter()
+            .filter_map(|s| match &s.detail {
+                Detail::Online(d) => Some(d.warnings.iter().map(String::as_str)),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+}
+
+/// Renders the report exactly as the legacy fig/table binaries printed it
+/// (markdown headings + tables + the online epilogues), so the preset
+/// shims preserve their historical output byte for byte.
+pub fn render_markdown(report: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", report.meta.heading));
+    for section in &report.sections {
+        match &section.heading {
+            Some(h) => {
+                out.push_str(&format!("\n## {h}\n"));
+                if section.table.is_some() {
+                    out.push('\n');
+                }
+            }
+            None => out.push('\n'),
+        }
+        if let Some(table) = &section.table {
+            let mut hdr = vec![table.col0.clone()];
+            hdr.extend(table.columns.iter().cloned());
+            out.push_str(&format!("| {} |\n", hdr.join(" | ")));
+            out.push_str(&format!(
+                "|{}|\n",
+                hdr.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            ));
+            for row in &table.rows {
+                let mut cells = vec![row.label.clone()];
+                cells.extend(row.cells.iter().map(Cell::markdown));
+                out.push_str(&format!("| {} |\n", cells.join(" | ")));
+            }
+        }
+        match &section.detail {
+            Detail::None => {}
+            Detail::Online(d) => render_online_detail(d, &mut out),
+            Detail::Pool(d) => {
+                out.push_str(&format!(
+                    "\n{} sessions × {} arrivals in {:.2} s ({} full solves, {} incremental \
+                     events, {} failures)\n",
+                    d.groups, d.requests, d.secs, d.solves, d.incremental, d.failures
+                ));
+                if d.vm_failures > 0 {
+                    out.push_str(&format!("{} VM failure(s) injected.\n", d.vm_failures));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn render_online_detail(d: &OnlineDetail, out: &mut String) {
+    if d.sessions.is_empty() {
+        return;
+    }
+    out.push_str("\nEmbedding time per session:\n");
+    for s in &d.sessions {
+        out.push_str(&format!(
+            "- {}: {:.2} s ({} full solves, {} incremental events, {} joins, {} leaves, \
+             {} fallbacks)\n",
+            s.label,
+            s.total_ms() / 1e3,
+            s.full_solves,
+            s.incremental_events,
+            s.joins,
+            s.leaves,
+            s.fallbacks
+        ));
+    }
+    // The incremental session right after the optional scratch baseline.
+    if let Some(inc) = d.sessions.get(usize::from(d.scratch)) {
+        if inc.solve_n > 0 && inc.inc_n > 0 {
+            let per_solve = inc.solve_ms / inc.solve_n as f64;
+            let per_inc = inc.inc_ms / inc.inc_n as f64;
+            out.push_str(&format!(
+                "\nPer-event embedding ({}): full solve ≈ {per_solve:.0} ms vs incremental \
+                 ≈ {per_inc:.2} ms ({:.0}× per event)\n",
+                inc.label,
+                per_solve / per_inc.max(1e-9)
+            ));
+        }
+    }
+    if d.scratch {
+        if d.failures == 0 && d.sessions.len() >= 2 {
+            let speedup = d.sessions[0].total_ms() / d.sessions[1].total_ms().max(1e-9);
+            out.push_str(&format!(
+                "End-to-end incremental speedup (SOFDA, embedding time): {speedup:.1}×\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "End-to-end speedup not reported: {} arrival(s) failed (see warnings)\n",
+                d.failures
+            ));
+        }
+    }
+    if d.vm_failures > 0 {
+        out.push_str(&format!("\n{} VM failure(s) injected.\n", d.vm_failures));
+    }
+}
+
+/// Emits the report as JSON lines: one `meta` line, then one `row` line
+/// per table cell (and per [`ExtraRow`]), then one `stat` line per online
+/// counter. With `timings = false` every wall-clock value is omitted and
+/// the stream is deterministic for a fixed spec + seed, independent of
+/// thread count.
+pub fn write_jsonl(report: &RunReport, timings: bool) -> String {
+    let mut out = String::new();
+    let m = &report.meta;
+    out.push_str(&format!(
+        "{{\"type\":\"meta\",\"spec\":{},\"seed\":{},\"seeds\":{},\"solvers\":[{}]}}\n",
+        quote_string(&m.spec),
+        m.seed,
+        m.seeds,
+        m.solvers
+            .iter()
+            .map(|s| quote_string(s))
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    for section in &report.sections {
+        let sid = quote_string(&section.id);
+        if let Some(table) = &section.table {
+            for row in &table.rows {
+                for (col, cell) in table.columns.iter().zip(&row.cells) {
+                    if cell.timing && !timings {
+                        continue;
+                    }
+                    let x = match row.x {
+                        Some(x) => json_f64(x),
+                        None => quote_string(&row.label),
+                    };
+                    out.push_str(&format!(
+                        "{{\"type\":\"row\",\"section\":{sid},\"x\":{x},\"col\":{},\
+                         \"value\":{}}}\n",
+                        quote_string(col),
+                        json_opt(cell.value)
+                    ));
+                }
+            }
+        }
+        for extra in &section.extra_rows {
+            if extra.timing && !timings {
+                continue;
+            }
+            out.push_str(&format!(
+                "{{\"type\":\"row\",\"section\":{sid},\"x\":{},\"col\":{},\"metric\":{},\
+                 \"value\":{}}}\n",
+                quote_string(&extra.x),
+                quote_string(&extra.col),
+                quote_string(&extra.metric),
+                json_opt(extra.value)
+            ));
+        }
+        match &section.detail {
+            Detail::None => {}
+            Detail::Online(d) => {
+                for s in &d.sessions {
+                    let counters: [(&str, f64, bool); 9] = [
+                        ("full_solves", s.full_solves as f64, false),
+                        ("incremental_events", s.incremental_events as f64, false),
+                        ("joins", s.joins as f64, false),
+                        ("leaves", s.leaves as f64, false),
+                        ("fallbacks", s.fallbacks as f64, false),
+                        ("solve_ms", s.solve_ms, true),
+                        ("inc_ms", s.inc_ms, true),
+                        ("solve_n", s.solve_n as f64, false),
+                        ("inc_n", s.inc_n as f64, false),
+                    ];
+                    for (name, value, timing) in counters {
+                        if timing && !timings {
+                            continue;
+                        }
+                        out.push_str(&format!(
+                            "{{\"type\":\"stat\",\"section\":{sid},\"solver\":{},\"name\":{},\
+                             \"value\":{}}}\n",
+                            quote_string(&s.label),
+                            quote_string(name),
+                            json_f64(value)
+                        ));
+                    }
+                }
+                for (name, value) in [
+                    ("failures", d.failures as f64),
+                    ("vm_failures", d.vm_failures as f64),
+                ] {
+                    out.push_str(&format!(
+                        "{{\"type\":\"stat\",\"section\":{sid},\"name\":{},\"value\":{}}}\n",
+                        quote_string(name),
+                        json_f64(value)
+                    ));
+                }
+            }
+            Detail::Pool(d) => {
+                let counters: [(&str, f64, bool); 6] = [
+                    ("sessions", d.groups as f64, false),
+                    ("full_solves", d.solves as f64, false),
+                    ("incremental_events", d.incremental as f64, false),
+                    ("failures", d.failures as f64, false),
+                    ("vm_failures", d.vm_failures as f64, false),
+                    ("secs", d.secs, true),
+                ];
+                for (name, value, timing) in counters {
+                    if timing && !timings {
+                        continue;
+                    }
+                    out.push_str(&format!(
+                        "{{\"type\":\"stat\",\"section\":{sid},\"name\":{},\"value\":{}}}\n",
+                        quote_string(name),
+                        json_f64(value)
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => json_f64(v),
+        _ => "null".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> RunReport {
+        RunReport {
+            meta: ReportMeta {
+                spec: "t".into(),
+                heading: "Fig. T — tiny (seeds = 1)".into(),
+                seed: 1,
+                seeds: 1,
+                solvers: vec!["SOFDA".into()],
+            },
+            sections: vec![Section {
+                id: "cost vs #destinations".into(),
+                heading: Some("Fig. T — cost vs #destinations (SoftLayer)".into()),
+                table: Some(Table {
+                    col0: "#destinations".into(),
+                    columns: vec!["SOFDA".into(), "CPLEX*".into()],
+                    rows: vec![TableRow {
+                        label: "2".into(),
+                        x: Some(2.0),
+                        cells: vec![Cell::num(Some(12.345), 1), Cell::num(None, 1)],
+                    }],
+                }),
+                extra_rows: vec![ExtraRow {
+                    x: "2".into(),
+                    col: "SOFDA".into(),
+                    metric: "millis".into(),
+                    value: Some(3.25),
+                    timing: true,
+                }],
+                detail: Detail::None,
+            }],
+        }
+    }
+
+    #[test]
+    fn markdown_matches_the_legacy_shape() {
+        let md = render_markdown(&tiny_report());
+        assert_eq!(
+            md,
+            "# Fig. T — tiny (seeds = 1)\n\
+             \n## Fig. T — cost vs #destinations (SoftLayer)\n\
+             \n| #destinations | SOFDA | CPLEX* |\n\
+             |---|---|---|\n\
+             | 2 | 12.3 | - |\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_is_valid_json_and_hides_timings_by_default() {
+        let report = tiny_report();
+        let jsonl = write_jsonl(&report, false);
+        for line in jsonl.lines() {
+            crate::value::parse_json(line).expect("every line parses as JSON");
+        }
+        assert!(jsonl.contains("\"value\":null"), "{jsonl}");
+        assert!(!jsonl.contains("millis"), "timings hidden: {jsonl}");
+        let with = write_jsonl(&report, true);
+        assert!(with.contains("\"metric\":\"millis\""), "{with}");
+        // Two runs of the same report serialize identically.
+        assert_eq!(jsonl, write_jsonl(&report, false));
+    }
+}

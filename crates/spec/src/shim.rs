@@ -1,0 +1,373 @@
+//! Legacy-binary shims and the shared override layer.
+//!
+//! The eight historical fig/table binaries survive as one-line `main`s
+//! calling [`legacy_main`]: the preset spec is loaded, the binary's
+//! historical flags (declared once, here) are mapped onto spec overrides,
+//! and the run renders through [`crate::render_markdown`] — so their
+//! output is byte-identical to `sof run <preset> --format markdown` with
+//! the matching overrides.
+
+use crate::engine::{run_spec, RunOptions};
+use crate::presets;
+use crate::report::render_markdown;
+use crate::spec::{ScenarioSpec, Workload};
+use sof_bench::Args;
+
+/// Generic spec overrides shared by the `sof` CLI and the legacy shims.
+#[derive(Clone, Debug, Default)]
+pub struct Overrides {
+    /// Replace the averaging width (sweep/grid/qoe workloads).
+    pub seeds: Option<u64>,
+    /// Replace the base RNG seed.
+    pub seed: Option<u64>,
+    /// Truncate every sweep/grid axis to its first N values (`0` = all);
+    /// for runtime workloads, truncate the size list.
+    pub limit: Option<usize>,
+    /// Replace the solver set (first entry only for single-solver kinds).
+    pub solvers: Option<Vec<String>>,
+    /// Resize the spec's topology (`inet` family only).
+    pub nodes: Option<usize>,
+    /// Replace every online group's arrival count.
+    pub requests: Option<usize>,
+}
+
+/// Applies generic overrides to a spec (validate afterwards — an override
+/// can introduce an unknown solver or an invalid size).
+///
+/// Returns the names of overrides that do not apply to this spec's
+/// workload kind (e.g. `--seeds` on an online workload) so callers can
+/// warn instead of silently running the unmodified scenario.
+pub fn apply_overrides(spec: &mut ScenarioSpec, o: &Overrides) -> Vec<&'static str> {
+    let mut ignored = Vec::new();
+    if let Some(nodes) = o.nodes {
+        spec.topology.nodes = Some(nodes);
+    }
+    if o.requests.is_some() && !matches!(spec.workload, Workload::Online { .. }) {
+        ignored.push("requests");
+    }
+    let inapplicable: &[&'static str] = match &spec.workload {
+        Workload::CostCurve { .. } => &["seeds", "seed", "limit", "solvers"],
+        Workload::Online { .. } => &["seeds", "limit"],
+        Workload::Runtime { .. } => &["seeds"],
+        Workload::Qoe { .. } => &["limit"],
+        Workload::Sweep { .. } | Workload::Grid { .. } => &[],
+    };
+    for &name in inapplicable {
+        let set = match name {
+            "seeds" => o.seeds.is_some(),
+            "seed" => o.seed.is_some(),
+            "limit" => o.limit.is_some(),
+            _ => o.solvers.is_some(),
+        };
+        if set {
+            ignored.push(name);
+        }
+    }
+    match &mut spec.workload {
+        Workload::CostCurve { .. } => {}
+        Workload::Sweep {
+            solvers,
+            seeds,
+            seed,
+            axes,
+        } => {
+            if let Some(s) = o.seeds {
+                *seeds = s.max(1);
+            }
+            if let Some(s) = o.seed {
+                *seed = s;
+            }
+            if let Some(limit) = o.limit {
+                for axis in axes.iter_mut() {
+                    axis.truncate(limit);
+                }
+            }
+            if let Some(list) = &o.solvers {
+                *solvers = list.clone();
+            }
+        }
+        Workload::Grid {
+            solver,
+            seeds,
+            seed,
+            rows,
+            cols,
+            ..
+        } => {
+            if let Some(s) = o.seeds {
+                *seeds = s.max(1);
+            }
+            if let Some(s) = o.seed {
+                *seed = s;
+            }
+            if let Some(limit) = o.limit {
+                rows.truncate(limit);
+                cols.truncate(limit);
+            }
+            if let Some(list) = &o.solvers {
+                if let Some(first) = list.first() {
+                    *solver = first.clone();
+                }
+            }
+        }
+        Workload::Runtime {
+            solver,
+            seed,
+            sizes,
+            ..
+        } => {
+            if let Some(s) = o.seed {
+                *seed = s;
+            }
+            if let Some(limit) = o.limit {
+                if limit > 0 {
+                    sizes.truncate(limit);
+                }
+            }
+            if let Some(list) = &o.solvers {
+                if let Some(first) = list.first() {
+                    *solver = first.clone();
+                }
+            }
+        }
+        Workload::Qoe {
+            solvers,
+            seeds,
+            seed,
+        } => {
+            if let Some(s) = o.seeds {
+                *seeds = s.max(1);
+            }
+            if let Some(s) = o.seed {
+                *seed = s;
+            }
+            if let Some(list) = &o.solvers {
+                *solvers = list.clone();
+            }
+        }
+        Workload::Online {
+            solvers,
+            seed,
+            groups,
+            ..
+        } => {
+            if let Some(s) = o.seed {
+                *seed = s;
+            }
+            if let Some(list) = &o.solvers {
+                *solvers = list.clone();
+            }
+            if let Some(r) = o.requests {
+                for g in groups.iter_mut() {
+                    g.requests = r;
+                }
+            }
+        }
+    }
+    ignored
+}
+
+fn fatal(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Runs a spec and prints it exactly as the legacy binaries did: warnings
+/// to stderr, markdown to stdout.
+pub fn run_and_print_markdown(spec: &ScenarioSpec, opts: &RunOptions) {
+    let report = match run_spec(spec, opts) {
+        Ok(r) => r,
+        Err(e) => fatal(e),
+    };
+    for w in report.warnings() {
+        eprintln!("warning: {w}");
+    }
+    print!("{}", render_markdown(&report));
+}
+
+/// The entry point behind every legacy fig/table binary: parses the
+/// binary's historical flag set, maps it onto the preset spec, runs, and
+/// prints the historical markdown.
+///
+/// # Panics
+///
+/// Panics when `name` is not a bundled preset (a build defect).
+pub fn legacy_main(name: &str) {
+    let (about, flags): (&str, &[(&str, &str)]) = match name {
+        "fig7" => (
+            "fig7 — the convex Fortz–Thorup cost function (capacity p = 1)",
+            &[],
+        ),
+        "fig8" => (
+            "fig8 — SoftLayer one-time deployment sweeps (incl. the exact \"CPLEX\" column)",
+            &[
+                ("seeds", "averaging width (default 5)"),
+                ("seed", "base RNG seed (default 1000)"),
+                (
+                    "exact",
+                    "1 = include the exact column, 0 = skip it (default 1)",
+                ),
+                (
+                    "limit",
+                    "truncate every sweep to its first N values (default 0 = all)",
+                ),
+            ],
+        ),
+        "fig9" => (
+            "fig9 — Cogent one-time deployment sweeps",
+            &[
+                ("seeds", "averaging width (default 5)"),
+                ("seed", "base RNG seed (default 2000)"),
+                (
+                    "limit",
+                    "truncate every sweep to its first N values (default 0 = all)",
+                ),
+            ],
+        ),
+        "fig10" => (
+            "fig10 — synthetic Inet network sweeps",
+            &[
+                ("seeds", "averaging width (default 2)"),
+                ("seed", "base RNG seed (default 3000)"),
+                (
+                    "nodes",
+                    "network size (default 5000; links = 2×, DCs = 2/5×)",
+                ),
+                (
+                    "limit",
+                    "truncate every sweep to its first N values (default 0 = all)",
+                ),
+            ],
+        ),
+        "fig11" => (
+            "fig11 — VM setup-cost multiple × chain length (SOFDA on SoftLayer)",
+            &[
+                ("seeds", "averaging width (default 5)"),
+                ("seed", "base RNG seed (default 4000)"),
+                (
+                    "limit",
+                    "truncate multiples and chain lengths to N values (default 0 = all)",
+                ),
+            ],
+        ),
+        "fig12" => (
+            "fig12 — online deployment under viewer churn: from-scratch vs incremental \
+             re-embedding",
+            &[
+                ("seed", "base RNG seed (default 5000)"),
+                ("requests-softlayer", "SoftLayer arrival count (default 30)"),
+                ("requests-cogent", "Cogent arrival count (default 45)"),
+                (
+                    "scratch",
+                    "from-scratch baseline: 0 = never, 1 = SoftLayer only, 2 = both (default 1 — \
+                     the full Cogent from-scratch trajectory alone takes ~4 min)",
+                ),
+                (
+                    "drift",
+                    "rebuild when churn since last solve reaches drift × |D| (default 2.0)",
+                ),
+                (
+                    "sessions",
+                    "independent concurrent churn groups served through a SessionPool \
+                     (default 1 = the classic solver comparison; > 1 ignores --scratch)",
+                ),
+            ],
+        ),
+        "table1" => (
+            "table1 — SOFDA running time vs network size and source count",
+            &[
+                ("seed", "base RNG seed (default 6000)"),
+                (
+                    "max-nodes",
+                    "largest network size to measure (default 5000)",
+                ),
+            ],
+        ),
+        "table2" => (
+            "table2 — testbed QoE (startup latency / rebuffering) per algorithm",
+            &[
+                ("seeds", "averaging width (default 10)"),
+                ("seed", "base RNG seed (default 7000)"),
+            ],
+        ),
+        other => panic!("'{other}' is not a legacy preset shim"),
+    };
+    let args = Args::parse(about, flags);
+    let mut spec = presets::preset(name)
+        .unwrap_or_else(|| panic!("bundled preset '{name}' missing"))
+        .unwrap_or_else(|e| panic!("bundled preset '{name}' invalid: {e}"));
+    // Each shim declares exactly the flags its workload kind understands,
+    // so nothing can land in the ignored list here.
+    let ignored = apply_overrides(
+        &mut spec,
+        &Overrides {
+            seeds: args.opt("seeds"),
+            seed: args.opt("seed"),
+            limit: args.opt("limit"),
+            ..Overrides::default()
+        },
+    );
+    debug_assert!(ignored.is_empty(), "shim flag set out of sync: {ignored:?}");
+    // Preset-specific flag semantics.
+    match name {
+        "fig8" if args.get("exact", 1usize) == 0 => {
+            if let Workload::Sweep { solvers, .. } = &mut spec.workload {
+                solvers.retain(|s| s != "CPLEX*");
+            }
+        }
+        "fig10" => {
+            if let Some(nodes) = args.opt::<usize>("nodes") {
+                spec.topology.nodes = Some(nodes);
+            }
+        }
+        "fig12" => {
+            if let Some(d) = args.opt::<f64>("drift") {
+                spec.online.drift = d;
+            }
+            let scratch_flag = args.get("scratch", 1usize);
+            let pool_sessions = args.get("sessions", 1usize);
+            if let Workload::Online {
+                sessions, groups, ..
+            } = &mut spec.workload
+            {
+                *sessions = pool_sessions.max(1);
+                for (gi, group) in groups.iter_mut().enumerate() {
+                    group.scratch = scratch_flag > gi;
+                    let flag = if gi == 0 {
+                        "requests-softlayer"
+                    } else {
+                        "requests-cogent"
+                    };
+                    if let Some(r) = args.opt::<usize>(flag) {
+                        group.requests = r;
+                    }
+                }
+                if *sessions > 1 && scratch_flag != 1 {
+                    eprintln!(
+                        "note: --scratch is ignored with --sessions > 1 \
+                         (the session-pool mode has no from-scratch baseline)"
+                    );
+                }
+            }
+        }
+        "table1" => {
+            if let Some(max) = args.opt::<usize>("max-nodes") {
+                if let Workload::Runtime { sizes, .. } = &mut spec.workload {
+                    sizes.retain(|&n| n <= max);
+                }
+            }
+        }
+        _ => {}
+    }
+    if let Err(e) = spec.validate() {
+        fatal(e);
+    }
+    run_and_print_markdown(
+        &spec,
+        &RunOptions {
+            threads: 0,
+            timings: true,
+            legacy_notes: true,
+        },
+    );
+}

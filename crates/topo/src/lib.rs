@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use serde::{Deserialize, Serialize};
 use sof_core::{fortz_thorup, Network, NodeKind, Request, ServiceChain, SofInstance};
 use sof_graph::{Cost, Graph, NodeId, Rng64};
 
@@ -172,8 +173,144 @@ pub fn testbed() -> Topology {
     }
 }
 
+/// Registered topology names, resolvable by [`build_named`]. The `inet`
+/// entry covers both the paper's full 5000-node network and arbitrary
+/// scaled-down instances via [`TopologySpec::nodes`].
+pub const TOPOLOGY_NAMES: [&str; 4] = ["softlayer", "cogent", "inet", "testbed"];
+
+/// The display label a topology name carries in figure headings
+/// (`"softlayer"` → `"SoftLayer"`). Unknown names echo back unchanged.
+pub fn display_label(name: &str) -> &str {
+    match name {
+        "softlayer" => "SoftLayer",
+        "cogent" => "Cogent",
+        "inet" | "inet-sized" => "Inet",
+        "testbed" => "testbed",
+        other => other,
+    }
+}
+
+/// A declarative reference to a registered topology: the name plus the
+/// optional sizing knobs the `inet` family accepts. This is the lookup key
+/// scenario specs use, so experiments can name networks as data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Registry name (see [`TOPOLOGY_NAMES`]).
+    pub name: String,
+    /// Access-node count (`inet` only; default 5000, the paper's size).
+    pub nodes: Option<usize>,
+    /// Link count (`inet` only; default `2 × nodes`).
+    pub links: Option<usize>,
+    /// Data-center count (`inet` only; default `2/5 × nodes`).
+    pub dcs: Option<usize>,
+    /// Growth seed (`cogent`/`inet`; default: the caller's scenario seed).
+    pub seed: Option<u64>,
+}
+
+impl TopologySpec {
+    /// A spec naming a topology with every knob defaulted.
+    pub fn named(name: impl Into<String>) -> TopologySpec {
+        TopologySpec {
+            name: name.into(),
+            nodes: None,
+            links: None,
+            dcs: None,
+            seed: None,
+        }
+    }
+}
+
+/// Checks a [`TopologySpec`] without building anything — the cheap half of
+/// [`build_named`], so spec files can be validated without synthesizing a
+/// 5000-node network.
+///
+/// # Errors
+///
+/// A message naming the unknown topology and the valid names, or the
+/// rejected sizing knob.
+pub fn validate_named(spec: &TopologySpec) -> Result<(), String> {
+    let sized = |what: &str| -> Result<(), String> {
+        Err(format!(
+            "topology '{}' does not accept '{what}' (only 'inet' is sizable)",
+            spec.name
+        ))
+    };
+    match spec.name.as_str() {
+        "softlayer" | "cogent" | "testbed" => {
+            if spec.nodes.is_some() {
+                sized("nodes")?;
+            }
+            if spec.links.is_some() {
+                sized("links")?;
+            }
+            if spec.dcs.is_some() {
+                sized("dcs")?;
+            }
+            Ok(())
+        }
+        "inet" => {
+            let nodes = spec.nodes.unwrap_or(5000);
+            if nodes < 10 {
+                return Err(format!(
+                    "topology 'inet' needs at least 10 nodes, got {nodes}"
+                ));
+            }
+            let links = spec.links.unwrap_or(nodes * 2);
+            let dcs = spec.dcs.unwrap_or((nodes * 2) / 5);
+            if dcs == 0 || dcs > nodes {
+                return Err(format!(
+                    "topology 'inet' needs 1 ≤ dcs ≤ nodes, got dcs = {dcs} for {nodes} nodes"
+                ));
+            }
+            if links < nodes - 1 {
+                return Err(format!(
+                    "topology 'inet' needs at least nodes - 1 links to connect, \
+                     got {links} for {nodes} nodes"
+                ));
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown topology '{other}' (expected one of {})",
+            TOPOLOGY_NAMES.join(", ")
+        )),
+    }
+}
+
+/// Builds a registered topology from its declarative spec. `default_seed`
+/// feeds the synthesized families (`inet`) when the spec pins no seed;
+/// `softlayer`/`testbed`/`cogent` are fully deterministic and ignore it.
+///
+/// `inet` with the paper's exact 5000-node size (and no custom
+/// links/dcs) resolves to [`inet_synthetic`]; any other size resolves to
+/// [`inet_sized`] with `links = 2 × nodes` and `dcs = 2/5 × nodes` unless
+/// overridden — exactly the sizing rule Fig. 10 and Table I use.
+///
+/// # Errors
+///
+/// Everything [`validate_named`] rejects.
+pub fn build_named(spec: &TopologySpec, default_seed: u64) -> Result<Topology, String> {
+    validate_named(spec)?;
+    let seed = spec.seed.unwrap_or(default_seed);
+    Ok(match spec.name.as_str() {
+        "softlayer" => softlayer(),
+        "cogent" => cogent(),
+        "testbed" => testbed(),
+        _ => {
+            let nodes = spec.nodes.unwrap_or(5000);
+            if nodes == 5000 && spec.links.is_none() && spec.dcs.is_none() {
+                inet_synthetic(seed)
+            } else {
+                let links = spec.links.unwrap_or(nodes * 2);
+                let dcs = spec.dcs.unwrap_or((nodes * 2) / 5);
+                inet_sized(nodes, links, dcs, seed)
+            }
+        }
+    })
+}
+
 /// Parameters of one evaluation scenario (Figs. 8–11 defaults: §VIII-A).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioParams {
     /// Total VMs attached to data centers.
     pub vm_count: usize,
@@ -296,6 +433,55 @@ mod tests {
         assert_eq!(i.graph.edge_count(), 10000);
         assert_eq!(i.dc_nodes.len(), 2000);
         assert!(i.graph.is_connected());
+    }
+
+    #[test]
+    fn registry_resolves_every_name() {
+        for name in TOPOLOGY_NAMES {
+            if name == "inet" {
+                continue; // full-size build is expensive; covered below
+            }
+            let t = build_named(&TopologySpec::named(name), 1).unwrap();
+            assert_eq!(t.name, name);
+        }
+        let spec = TopologySpec {
+            nodes: Some(300),
+            ..TopologySpec::named("inet")
+        };
+        let t = build_named(&spec, 9).unwrap();
+        assert_eq!(t.graph.node_count(), 300);
+        assert_eq!(t.graph.edge_count(), 600);
+        assert_eq!(t.dc_nodes.len(), 120);
+        // Sizing matches inet_sized's rule, so Table I's networks are reachable.
+        let direct = inet_sized(300, 600, 120, 9);
+        assert_eq!(t.graph.total_edge_cost(), direct.graph.total_edge_cost());
+    }
+
+    #[test]
+    fn registry_rejects_bad_specs_with_actionable_errors() {
+        let err = build_named(&TopologySpec::named("softlayeer"), 1).unwrap_err();
+        assert!(err.contains("unknown topology 'softlayeer'") && err.contains("softlayer"));
+        let mut spec = TopologySpec::named("cogent");
+        spec.nodes = Some(50);
+        let err = build_named(&spec, 1).unwrap_err();
+        assert!(err.contains("does not accept 'nodes'"), "{err}");
+        let mut spec = TopologySpec::named("inet");
+        spec.nodes = Some(100);
+        spec.dcs = Some(0);
+        let err = build_named(&spec, 1).unwrap_err();
+        assert!(err.contains("dcs"), "{err}");
+        spec.dcs = None;
+        spec.links = Some(5);
+        let err = build_named(&spec, 1).unwrap_err();
+        assert!(err.contains("links"), "{err}");
+    }
+
+    #[test]
+    fn display_labels_match_figures() {
+        assert_eq!(display_label("softlayer"), "SoftLayer");
+        assert_eq!(display_label("cogent"), "Cogent");
+        assert_eq!(display_label("inet"), "Inet");
+        assert_eq!(display_label("custom"), "custom");
     }
 
     #[test]

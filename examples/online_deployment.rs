@@ -1,59 +1,71 @@
-//! Online deployment (Fig. 12): one long-lived multicast group churns as
-//! viewers come and go. The incremental `OnlineSession` engine serves each
-//! event with §VII-C join/leave dynamics on a standing forest — re-running
-//! the solver only when accumulated churn drifts past its threshold —
-//! while link and VM costs follow the convex Fortz–Thorup model so
-//! congested resources get expensive.
+//! Online deployment (Fig. 12) through the spec layer: one long-lived
+//! multicast group churns as viewers come and go, served by the
+//! incremental `OnlineSession` engine with the **cost-divergence** rebuild
+//! policy — the session re-runs the solver only when the standing
+//! forest's congestion-aware cost drifts past `drift ×` the cost measured
+//! at the last full solve. A VM failure is injected every 8 arrivals to
+//! show re-embedding around faults; every knob below is spec data, so the
+//! identical scenario runs from a file via `sof run <spec.toml>`.
 //!
 //! Run with `cargo run --release --example online_deployment`.
 
-use sof::core::{OnlineConfig, OnlineSession, SofdaConfig};
-use sof::sim::{ChurnParams, ChurnStream};
-use sof::topo::{build_instance, softlayer, ScenarioParams};
+use sof::spec::{run_spec, Detail, RunOptions, ScenarioSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let topo = softlayer();
-    let mut p = ScenarioParams::paper_defaults().with_seed(7);
-    p.vm_count = topo.dc_nodes.len() * 5; // 5 VMs per data center
-    p.chain_len = 3;
-    let inst = build_instance(&topo, &p);
-    let mut session = OnlineSession::new(
-        inst,
-        sof::solvers::by_name("SOFDA").expect("registered"),
-        SofdaConfig::default().with_seed(7),
-        OnlineConfig::default(),
-    );
-    let mut churn = ChurnStream::new(ChurnParams::softlayer(), 27, 7);
-    println!("arrival  |D|  mode         Δ(join/leave)  cost      accumulated");
-    for arrival in 1..=20 {
-        let request = if arrival == 1 {
-            churn.current().clone()
-        } else {
-            churn.next_request()
-        };
-        let dests = request.destinations.len();
-        let report = session.arrive(request)?;
-        session
-            .forest()
-            .expect("standing forest")
-            .validate(session.instance())?;
-        println!(
-            "{arrival:>7}  {dests:>3}  {:<11}  (+{},-{})        {:>8.1}  {:>11.1}",
-            if report.rebuilt {
-                "full solve"
-            } else {
-                "incremental"
-            },
-            report.joined,
-            report.left,
-            report.forest_cost,
-            report.accumulated_cost,
-        );
+    let spec = ScenarioSpec::from_toml(
+        r#"
+name = "online-demo"
+label = "Demo"
+title = "online deployment"
+description = "SoftLayer viewer churn, cost-drift rebuilds, VM failure injection"
+
+[topology]
+name = "softlayer"
+
+[online]
+drift = 1.8
+drift_policy = "cost"
+
+[workload]
+kind = "online"
+seed = 7
+solvers = ["SOFDA"]
+
+[[workload.groups]]
+requests = 20
+vms_per_dc = 5
+churn = { sources = [8, 12], destinations = [13, 17], chain_len = 3, demand_mbps = 5.0, leaves = [1, 3], joins = [1, 3] }
+
+[workload.failures]
+every = 8
+kind = "vm"
+count = 1
+"#,
+    )?;
+    let report = run_spec(&spec, &RunOptions::default())?;
+    println!("{}", sof::spec::render_markdown(&report));
+
+    // The structured report exposes what the session engine did.
+    for section in &report.sections {
+        if let Detail::Online(d) = &section.detail {
+            for s in &d.sessions {
+                println!(
+                    "{}: {} arrivals → {} full solves, {} incremental events \
+                     ({} joins, {} leaves), {} injected VM failure(s)",
+                    s.label,
+                    s.full_solves + s.incremental_events,
+                    s.full_solves,
+                    s.incremental_events,
+                    s.joins,
+                    s.leaves,
+                    d.vm_failures,
+                );
+                assert!(
+                    s.incremental_events > s.full_solves,
+                    "churn should mostly be served incrementally"
+                );
+            }
+        }
     }
-    let st = session.stats();
-    println!(
-        "\n{} arrivals: {} full solves, {} incremental events ({} joins, {} leaves, {} reroutes)",
-        st.arrivals, st.full_solves, st.incremental_events, st.joins, st.leaves, st.reroutes
-    );
     Ok(())
 }

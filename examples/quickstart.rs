@@ -1,61 +1,69 @@
-//! Quickstart: build a small cloud network, embed a service forest with
-//! SOFDA, and compare against the baselines and the exact optimum.
+//! Quickstart: experiments are **spec files** now. Declare a scenario as
+//! data (topology + parameters + solver set + workload), run it through
+//! the spec engine, and read the structured report — the same path the
+//! `sof` CLI drives (`sof run <spec.toml>`).
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use sof::core::{solve_sofda, Network, NodeKind, Request, ServiceChain, SofInstance, SofdaConfig};
-use sof::graph::{Cost, Graph, NodeId};
+use sof::spec::{render_markdown, run_spec, write_jsonl, RunOptions, ScenarioSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // An 8-switch ring with two cross links.
-    let mut g = Graph::with_nodes(8);
-    for i in 0..8 {
-        g.add_edge(NodeId::new(i), NodeId::new((i + 1) % 8), Cost::new(1.0));
-    }
-    g.add_edge(NodeId::new(0), NodeId::new(4), Cost::new(1.5));
-    g.add_edge(NodeId::new(2), NodeId::new(6), Cost::new(1.5));
-    let mut net = Network::all_switches(g);
-    // Four VMs with assorted setup costs.
-    for (v, c) in [(1usize, 0.8), (3, 1.2), (5, 0.6), (7, 1.0)] {
-        net.make_vm(NodeId::new(v), Cost::new(c));
-    }
-    // A VM attached off-ring (e.g., in a data center).
-    let dc_vm = net.add_node(NodeKind::Vm, Cost::new(0.3));
-    net.graph_mut()
-        .add_edge(dc_vm, NodeId::new(4), Cost::new(0.2));
+    // A miniature solver comparison on SoftLayer: this spec could equally
+    // live in a .toml file and run as `sof run my-spec.toml`.
+    let spec = ScenarioSpec::from_toml(
+        r#"
+name = "quickstart"
+label = "Quickstart"
+title = "SoftLayer mini comparison"
+description = "Four solvers on two small sweep axes"
 
-    let inst = SofInstance::new(
-        net,
-        Request::new(
-            vec![NodeId::new(0), NodeId::new(4)], // candidate sources
-            vec![NodeId::new(2), NodeId::new(6)], // destinations
-            ServiceChain::from_names(["transcoder", "watermark"]),
-        ),
+[topology]
+name = "softlayer"
+
+[params]
+vm_count = 12
+sources = 6
+destinations = 4
+
+[workload]
+kind = "sweep"
+solvers = ["SOFDA", "eNEMP", "eST", "ST"]
+seeds = 2
+seed = 5
+
+[[workload.axes]]
+field = "destinations"
+values = [2, 4, 6]
+
+[[workload.axes]]
+field = "chain_len"
+values = [3, 4]
+"#,
     )?;
 
-    let out = solve_sofda(&inst, &SofdaConfig::default())?;
-    out.forest.validate(&inst)?;
-    println!("SOFDA forest cost: {}", out.cost);
-    println!("  trees: {}", out.forest.stats().trees);
-    println!("  VMs  : {}", out.forest.stats().used_vms);
-    for w in &out.forest.walks {
-        let hops: Vec<String> = w.nodes.iter().map(|n| n.to_string()).collect();
-        println!("  {} ⇐ {}  via {}", w.destination, w.source, hops.join("→"));
-    }
+    // Compile + run on the solver registry; results are deterministic for
+    // the spec's seed, whatever the thread count.
+    let report = run_spec(&spec, &RunOptions::default())?;
 
-    // Every other registered solver on the same instance (baselines,
-    // exact, single-source, distributed — whatever the registry knows).
-    for solver in sof::solvers::all() {
-        if solver.name() == "SOFDA" || !solver.supports(&inst) {
-            continue;
-        }
-        let r = solver.solve(&inst, &SofdaConfig::default())?;
-        println!("{:<8} cost: {}", solver.name(), r.cost);
-    }
+    // 1) Human-readable: the same markdown tables the paper figures use.
+    println!("{}", render_markdown(&report));
 
-    // Exact optimum (small instance → instant).
-    let exact = sof::exact::solve_exact(&inst, 300)?;
-    println!("OPT      cost: {} (optimal: {})", exact.cost, exact.optimal);
-    assert!(out.cost.total() >= exact.cost);
+    // 2) Machine-readable: JSON lines, one record per measured point.
+    println!("--- RunReport as JSON lines ---");
+    print!("{}", write_jsonl(&report, false));
+
+    // 3) Structured access from code.
+    let first = &report.sections[0];
+    let table = first.table.as_ref().expect("sweep sections have tables");
+    let sofda_at_first_point = table.rows[0].cells[0].value.expect("feasible");
+    println!(
+        "\nSOFDA cost at {} = {}: {sofda_at_first_point:.1}",
+        table.col0, table.rows[0].label
+    );
+
+    // The spec itself round-trips losslessly — handy for generating
+    // scenario families programmatically and checking them in.
+    let reparsed = ScenarioSpec::from_toml(&spec.to_toml())?;
+    assert_eq!(reparsed, spec);
     Ok(())
 }

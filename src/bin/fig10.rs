@@ -1,0 +1,5 @@
+//! Legacy shim: `fig10` now delegates to the bundled `fig10` preset spec
+//! (see `crates/spec/specs/fig10.toml`); same flags, same output.
+fn main() {
+    sof_spec::shim::legacy_main("fig10");
+}

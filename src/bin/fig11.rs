@@ -1,0 +1,5 @@
+//! Legacy shim: `fig11` now delegates to the bundled `fig11` preset spec
+//! (see `crates/spec/specs/fig11.toml`); same flags, same output.
+fn main() {
+    sof_spec::shim::legacy_main("fig11");
+}

@@ -1,0 +1,5 @@
+//! Legacy shim: `fig12` now delegates to the bundled `fig12` preset spec
+//! (see `crates/spec/specs/fig12.toml`); same flags, same output.
+fn main() {
+    sof_spec::shim::legacy_main("fig12");
+}

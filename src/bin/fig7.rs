@@ -1,0 +1,5 @@
+//! Legacy shim: `fig7` now delegates to the bundled `fig7` preset spec
+//! (see `crates/spec/specs/fig7.toml`); same flags, same output.
+fn main() {
+    sof_spec::shim::legacy_main("fig7");
+}

@@ -1,0 +1,5 @@
+//! Legacy shim: `fig8` now delegates to the bundled `fig8` preset spec
+//! (see `crates/spec/specs/fig8.toml`); same flags, same output.
+fn main() {
+    sof_spec::shim::legacy_main("fig8");
+}

@@ -1,0 +1,5 @@
+//! Legacy shim: `fig9` now delegates to the bundled `fig9` preset spec
+//! (see `crates/spec/specs/fig9.toml`); same flags, same output.
+fn main() {
+    sof_spec::shim::legacy_main("fig9");
+}

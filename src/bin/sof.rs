@@ -1,0 +1,240 @@
+//! `sof` — the unified scenario CLI.
+//!
+//! ```text
+//! sof run <preset|spec.toml|spec.json> [options]   run a scenario
+//! sof list                                         list bundled presets
+//! sof validate <preset|file>... | --all            check specs without running
+//! ```
+//!
+//! `sof run` emits the structured `RunReport` as JSON lines by default
+//! (deterministic for a fixed seed and any `--threads`); pass
+//! `--format markdown` for the legacy figure tables.
+
+use sof_spec::shim::{apply_overrides, Overrides};
+use sof_spec::{render_markdown, run_spec, write_jsonl, RunOptions, ScenarioSpec};
+use std::path::Path;
+use std::process::exit;
+
+const USAGE: &str = "sof — Service Overlay Forest scenarios
+
+Usage:
+  sof run <preset|spec.toml|spec.json> [options]
+  sof list
+  sof validate <preset|file>... | --all
+  sof help
+
+Run options:
+  --format <jsonl|markdown>  output format (default jsonl)
+  --seeds <N>                override the averaging width
+  --seed <N>                 override the base RNG seed
+  --limit <N>                truncate every sweep axis to its first N values
+  --solvers <A,B,...>        override the solver set
+  --nodes <N>                resize the topology (inet family only)
+  --requests <N>             override every online group's arrival count
+  --threads <N>              worker threads (0 = all cores; overrides SOF_THREADS)
+  --timings                  include wall-clock measurements in the JSONL output
+
+Presets are bundled spec files (see `sof list`); anything containing a
+path separator or ending in .toml/.json is read from disk.";
+
+fn fatal(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    exit(2);
+}
+
+fn load_spec(target: &str) -> ScenarioSpec {
+    let looks_like_path = target.contains('/')
+        || target.ends_with(".toml")
+        || target.ends_with(".json")
+        || Path::new(target).exists();
+    if looks_like_path {
+        match ScenarioSpec::from_path(Path::new(target)) {
+            Ok(s) => s,
+            Err(e) => fatal(e),
+        }
+    } else {
+        match sof_spec::presets::preset(target) {
+            Some(Ok(s)) => s,
+            Some(Err(e)) => fatal(format!("bundled preset '{target}' is invalid: {e}")),
+            None => fatal(format!(
+                "unknown preset '{target}' (run `sof list`, or pass a spec file path)"
+            )),
+        }
+    }
+}
+
+fn cmd_run(args: Vec<String>) {
+    let mut format = "jsonl".to_string();
+    let mut overrides = Overrides::default();
+    let mut threads: Option<usize> = None;
+    let mut timings = false;
+    let mut target: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fatal(format!("flag '{flag}' is missing its value")))
+        };
+        match arg.as_str() {
+            "--format" => format = value("--format"),
+            "--seeds" => overrides.seeds = Some(parse_num(&value("--seeds"), "--seeds")),
+            "--seed" => overrides.seed = Some(parse_num(&value("--seed"), "--seed")),
+            "--limit" => overrides.limit = Some(parse_num(&value("--limit"), "--limit") as usize),
+            "--solvers" => {
+                overrides.solvers = Some(
+                    value("--solvers")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect(),
+                )
+            }
+            "--nodes" => overrides.nodes = Some(parse_num(&value("--nodes"), "--nodes") as usize),
+            "--requests" => {
+                overrides.requests = Some(parse_num(&value("--requests"), "--requests") as usize)
+            }
+            "--threads" => threads = Some(parse_num(&value("--threads"), "--threads") as usize),
+            "--timings" => timings = true,
+            other if other.starts_with("--") => fatal(format!("unknown flag '{other}'")),
+            _ => {
+                if target.is_some() {
+                    fatal(format!("unexpected extra argument '{arg}'"));
+                }
+                target = Some(arg);
+            }
+        }
+    }
+    let Some(target) = target else {
+        fatal("`sof run` needs a preset name or spec file (see `sof list`)");
+    };
+    if let Some(t) = threads {
+        sof_par::set_threads(t);
+    }
+    let mut spec = load_spec(&target);
+    for name in apply_overrides(&mut spec, &overrides) {
+        eprintln!(
+            "warning: --{name} does not apply to a '{}' workload and was ignored",
+            spec.workload.kind()
+        );
+    }
+    if let Err(e) = spec.validate() {
+        fatal(e);
+    }
+    let opts = RunOptions {
+        threads: 0,
+        timings,
+        legacy_notes: false,
+    };
+    match format.as_str() {
+        "jsonl" | "json" => {
+            let report = match run_spec(&spec, &opts) {
+                Ok(r) => r,
+                Err(e) => fatal(e),
+            };
+            for w in report.warnings() {
+                eprintln!("warning: {w}");
+            }
+            print!("{}", write_jsonl(&report, timings));
+        }
+        "markdown" | "md" => {
+            let report = match run_spec(&spec, &opts) {
+                Ok(r) => r,
+                Err(e) => fatal(e),
+            };
+            for w in report.warnings() {
+                eprintln!("warning: {w}");
+            }
+            print!("{}", render_markdown(&report));
+        }
+        other => fatal(format!(
+            "unknown format '{other}' (expected 'jsonl' or 'markdown')"
+        )),
+    }
+}
+
+fn parse_num(v: &str, flag: &str) -> u64 {
+    v.parse()
+        .unwrap_or_else(|_| fatal(format!("invalid value '{v}' for flag '{flag}'")))
+}
+
+fn cmd_list() {
+    println!("bundled presets:");
+    for name in sof_spec::presets::preset_names() {
+        let spec = sof_spec::presets::preset(name)
+            .expect("listed preset exists")
+            .expect("bundled presets are valid");
+        println!("  {name:<22} {}", spec.description);
+    }
+    println!("\nrun one with `sof run <name>`; validate a file with `sof validate <path>`.");
+}
+
+fn cmd_validate(args: Vec<String>) {
+    let targets: Vec<String> = if args.iter().any(|a| a == "--all") {
+        sof_spec::presets::preset_names()
+            .into_iter()
+            .map(String::from)
+            .collect()
+    } else if args.is_empty() {
+        fatal("`sof validate` needs preset names / spec files, or --all");
+    } else {
+        args
+    };
+    let mut failed = false;
+    for target in &targets {
+        let looks_like_path = target.contains('/')
+            || target.ends_with(".toml")
+            || target.ends_with(".json")
+            || Path::new(target).exists();
+        let result = if looks_like_path {
+            ScenarioSpec::from_path(Path::new(target))
+        } else {
+            match sof_spec::presets::preset(target) {
+                Some(r) => r,
+                None => {
+                    eprintln!("{target}: unknown preset");
+                    failed = true;
+                    continue;
+                }
+            }
+        };
+        match result {
+            Ok(spec) => {
+                // The round trip is part of the contract: serializing and
+                // re-parsing must be the identity.
+                match ScenarioSpec::from_toml(&spec.to_toml()) {
+                    Ok(again) if again == spec => println!("{target}: ok ({})", spec.name),
+                    Ok(_) => {
+                        eprintln!("{target}: round trip changed the spec (internal bug)");
+                        failed = true;
+                    }
+                    Err(e) => {
+                        eprintln!("{target}: round trip failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{target}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        exit(1);
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        println!("{USAGE}");
+        return;
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "run" => cmd_run(args),
+        "list" => cmd_list(),
+        "validate" => cmd_validate(args),
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => fatal(format!("unknown command '{other}' (try `sof help`)")),
+    }
+}

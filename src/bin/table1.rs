@@ -1,0 +1,5 @@
+//! Legacy shim: `table1` now delegates to the bundled `table1` preset spec
+//! (see `crates/spec/specs/table1.toml`); same flags, same output.
+fn main() {
+    sof_spec::shim::legacy_main("table1");
+}

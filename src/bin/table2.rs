@@ -1,0 +1,5 @@
+//! Legacy shim: `table2` now delegates to the bundled `table2` preset spec
+//! (see `crates/spec/specs/table2.toml`); same flags, same output.
+fn main() {
+    sof_spec::shim::legacy_main("table2");
+}

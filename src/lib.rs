@@ -18,14 +18,51 @@
 //! * [`exact`] — the optimal "CPLEX-column" solver and the IP formulation,
 //! * [`solvers`] — the registry of every algorithm behind the object-safe
 //!   [`core::Solver`] trait (`solvers::all()`, `solvers::by_name`),
-//! * [`topo`] — SoftLayer / Cogent / Inet / testbed topologies,
+//! * [`topo`] — SoftLayer / Cogent / Inet / testbed topologies and the
+//!   named-topology registry specs resolve through,
 //! * [`sim`] — flow-level DES with max-min fairness, video QoE, and the
 //!   online request / viewer-churn workloads,
-//! * [`sdn`] — flow-rule compilation and distributed multi-controller SOFDA.
+//! * [`sdn`] — flow-rule compilation and distributed multi-controller SOFDA,
+//! * [`spec`] — the declarative [`spec::ScenarioSpec`] layer: experiments
+//!   as TOML/JSON files, compiled onto the machinery above, reported as
+//!   structured [`spec::RunReport`] JSON lines (the `sof` CLI front end).
 //!
 //! # Quick start
 //!
-//! Pick solvers from the registry and compare them on one instance:
+//! Experiments are **spec files**. The paper's whole evaluation ships as
+//! bundled presets, and new scenarios are data, not code:
+//!
+//! ```text
+//! sof list                 # bundled presets (fig7…table2 + demos)
+//! sof run fig8             # structured RunReport JSON lines on stdout
+//! sof run fig8 --format markdown --seeds 1 --limit 2
+//! sof validate my-spec.toml
+//! ```
+//!
+//! The same layer is a library:
+//!
+//! ```
+//! use sof::spec::{run_spec, RunOptions, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec::from_toml(r#"
+//! name = "tiny"
+//!
+//! [workload]
+//! kind = "sweep"
+//! solvers = ["SOFDA", "eST"]
+//! seeds = 1
+//! seed = 7
+//!
+//! [[workload.axes]]
+//! field = "destinations"
+//! values = [2, 4]
+//! "#)?;
+//! let report = run_spec(&spec, &RunOptions::default())?;
+//! println!("{}", sof::spec::write_jsonl(&report, false));
+//! # Ok::<(), sof::spec::SpecError>(())
+//! ```
+//!
+//! Below the spec layer, solvers remain directly drivable:
 //!
 //! ```
 //! use sof::core::SofdaConfig;
@@ -82,5 +119,6 @@ pub use sof_par as par;
 pub use sof_sdn as sdn;
 pub use sof_sim as sim;
 pub use sof_solvers as solvers;
+pub use sof_spec as spec;
 pub use sof_steiner as steiner;
 pub use sof_topo as topo;

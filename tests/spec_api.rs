@@ -1,0 +1,229 @@
+//! Acceptance tests for the declarative spec layer: preset round trips,
+//! strict rejection of malformed specs, golden-report stability, and
+//! thread-count-independent reports.
+
+use proptest::prelude::*;
+use sof::spec::{presets, run_spec, write_jsonl, RunOptions, ScenarioSpec, Workload};
+
+/// Every bundled preset parses, validates, survives a TOML **and** a JSON
+/// round trip unchanged, and keeps its file name as its spec name.
+#[test]
+fn bundled_presets_round_trip_losslessly() {
+    assert!(presets::PRESETS.len() >= 9, "all figures + demos bundled");
+    for (name, src) in presets::PRESETS {
+        let spec = ScenarioSpec::from_toml(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(&spec.name, name);
+        let toml_again = ScenarioSpec::from_toml(&spec.to_toml()).unwrap();
+        assert_eq!(spec, toml_again, "{name}: TOML round trip");
+        let json_again = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, json_again, "{name}: JSON round trip");
+    }
+}
+
+/// Unknown keys anywhere in a spec are rejected, naming the key path.
+#[test]
+fn unknown_keys_are_rejected_everywhere() {
+    for (name, src) in presets::PRESETS {
+        let poisoned = format!("{src}\n[workload]\nbogus_key_xyz = 1\n");
+        // Appending re-opens [workload]; a duplicate-table conflict or an
+        // unknown-key rejection are both hard failures — what must never
+        // happen is silent acceptance.
+        let err = ScenarioSpec::from_toml(&poisoned)
+            .err()
+            .unwrap_or_else(|| panic!("{name}: bogus key silently accepted"));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("bogus_key_xyz") || msg.contains("duplicate"),
+            "{name}: unhelpful error: {msg}"
+        );
+    }
+}
+
+/// The fig7 golden file stays in lockstep with the engine (the full set is
+/// diffed in CI; fig7 is cheap enough for the test suite).
+#[test]
+fn fig7_matches_its_committed_golden_report() {
+    let spec = presets::preset("fig7").unwrap().unwrap();
+    let report = run_spec(&spec, &RunOptions::default()).unwrap();
+    let golden = std::fs::read_to_string("crates/spec/specs/golden/fig7.jsonl")
+        .expect("committed golden file");
+    assert_eq!(write_jsonl(&report, false), golden);
+}
+
+/// Reports are bit-identical for any worker-thread count.
+#[test]
+fn spec_reports_are_thread_count_independent() {
+    let spec = ScenarioSpec::from_toml(
+        r#"
+name = "threads"
+[params]
+vm_count = 10
+sources = 4
+destinations = 3
+[workload]
+kind = "sweep"
+solvers = ["SOFDA", "eST"]
+seeds = 3
+seed = 77
+[[workload.axes]]
+field = "destinations"
+values = [2, 3]
+"#,
+    )
+    .unwrap();
+    let outputs: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let report = run_spec(
+                &spec,
+                &RunOptions {
+                    threads,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+            write_jsonl(&report, false)
+        })
+        .collect();
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[0], outputs[2]);
+}
+
+/// An online spec with failure injection runs end to end and reports the
+/// injections; the whole scenario lives in the spec alone.
+#[test]
+fn online_spec_with_failures_runs_from_data_alone() {
+    let spec = ScenarioSpec::from_toml(
+        r#"
+name = "faulty"
+[topology]
+name = "testbed"
+[online]
+drift_policy = "cost"
+[workload]
+kind = "online"
+seed = 3
+solvers = ["SOFDA"]
+[[workload.groups]]
+requests = 8
+vms_per_dc = 1
+churn = { sources = [1, 2], destinations = [2, 4], leaves = [0, 1], joins = [0, 1] }
+[workload.failures]
+every = 3
+"#,
+    )
+    .unwrap();
+    let report = run_spec(&spec, &RunOptions::default()).unwrap();
+    let jsonl = write_jsonl(&report, false);
+    assert!(jsonl.contains("\"name\":\"vm_failures\""), "{jsonl}");
+    let sof::spec::Detail::Online(d) = &report.sections[0].detail else {
+        panic!("expected online detail");
+    };
+    assert!(d.vm_failures >= 1, "failures injected at arrivals 3 and 6");
+    let stats = &d.sessions[0];
+    assert_eq!(
+        stats.full_solves + stats.incremental_events + d.failures,
+        8,
+        "every arrival accounted for"
+    );
+}
+
+/// The session-pool mode (`sessions > 1`) runs from a spec, steps every
+/// session, and its report is thread-count independent.
+#[test]
+fn session_pool_mode_runs_and_is_deterministic() {
+    let spec = ScenarioSpec::from_toml(
+        r#"
+name = "pool"
+[topology]
+name = "testbed"
+[workload]
+kind = "online"
+seed = 11
+solvers = ["SOFDA"]
+sessions = 3
+[[workload.groups]]
+requests = 6
+vms_per_dc = 1
+churn = { sources = [1, 2], destinations = [2, 4], leaves = [0, 1], joins = [0, 1] }
+"#,
+    )
+    .unwrap();
+    let run = |threads: usize| {
+        let report = run_spec(
+            &spec,
+            &RunOptions {
+                threads,
+                timings: false,
+                legacy_notes: false,
+            },
+        )
+        .unwrap();
+        let sof::spec::Detail::Pool(d) = report.sections[0].detail.clone() else {
+            panic!("expected pool detail");
+        };
+        assert_eq!((d.groups, d.requests), (3, 6));
+        assert_eq!(
+            d.solves + d.incremental + d.failures,
+            3 * 6,
+            "every (session, arrival) accounted for"
+        );
+        write_jsonl(&report, false)
+    };
+    let a = run(1);
+    assert_eq!(a, run(2), "pool reports must not depend on thread count");
+    assert!(
+        a.contains("concurrent") || a.contains("group0:testbed"),
+        "{a}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Randomized sweep specs round-trip losslessly through TOML and JSON.
+    #[test]
+    fn random_sweep_specs_round_trip(
+        seed in 0u64..100_000,
+        seeds in 1u64..9,
+        vm_count in 1usize..60,
+        chain in 1usize..8,
+        axis_len in 1usize..6,
+    ) {
+        let values: Vec<usize> = (0..axis_len).map(|i| 2 + i * 3).collect();
+        let values_str = values
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let src = format!(
+            "name = \"rand\"\nlabel = \"R {seed}\"\n\
+             [params]\nvm_count = {vm_count}\nchain_len = {chain}\n\
+             [workload]\nkind = \"sweep\"\nsolvers = [\"SOFDA\"]\n\
+             seeds = {seeds}\nseed = {seed}\n\
+             [[workload.axes]]\nfield = \"destinations\"\nvalues = [{values_str}]\n"
+        );
+        let spec = ScenarioSpec::from_toml(&src).unwrap();
+        prop_assert_eq!(&ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), &spec);
+        prop_assert_eq!(&ScenarioSpec::from_json(&spec.to_json()).unwrap(), &spec);
+        let Workload::Sweep { seeds: s, seed: b, ref axes, .. } = spec.workload else {
+            panic!("sweep expected");
+        };
+        prop_assert_eq!((s, b), (seeds, seed));
+        prop_assert_eq!(&axes[0].values, &values);
+    }
+
+    /// Out-of-range numbers are rejected, never silently clamped.
+    #[test]
+    fn negative_and_zero_values_are_rejected(bad in -9i64..1) {
+        let src = format!(
+            "name = \"bad\"\n[workload]\nkind = \"sweep\"\n\
+             solvers = [\"SOFDA\"]\nseeds = {bad}\n"
+        );
+        let err = ScenarioSpec::from_toml(&src).unwrap_err().to_string();
+        prop_assert!(
+            err.contains("seeds"),
+            "error should name the key: {}", err
+        );
+    }
+}
