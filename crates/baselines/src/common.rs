@@ -1,7 +1,7 @@
 //! Shared machinery for the baseline algorithms.
 
 use sof_core::{ChainMetric, DestWalk, ServiceForest, SofInstance, SofdaConfig, SolveError};
-use sof_graph::{Cost, NodeId, Rng64, ShortestPaths};
+use sof_graph::{Cost, NodeId, Rng64};
 use sof_steiner::SteinerTree;
 
 /// A grown forest: total priced cost, the kept candidate trees, and the
@@ -62,7 +62,7 @@ pub(crate) fn cheapest_chain_to_tree(
     let mut best: Option<CandidateTree> = None;
     for (target, stroll, chain_cost) in chains {
         let u = cm.node(target);
-        let sp = ShortestPaths::from_source(network.graph(), u);
+        let sp = network.paths().from_source(network.graph(), u);
         let Some(&attach) = tree_nodes
             .iter()
             .min_by_key(|&&x| (sp.dist(x), x))
@@ -101,9 +101,9 @@ pub(crate) fn assign_and_price(
 ) -> Result<(Cost, Vec<Vec<NodeId>>), SolveError> {
     let network = &instance.network;
     let dests = &instance.request.destinations;
-    let sps: Vec<ShortestPaths> = trees
+    let sps: Vec<_> = trees
         .iter()
-        .map(|t| ShortestPaths::from_source(network.graph(), t.attach))
+        .map(|t| network.paths().from_source(network.graph(), t.attach))
         .collect();
     let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); trees.len()];
     for &d in dests {
@@ -120,7 +120,9 @@ pub(crate) fn assign_and_price(
         }
         let mut terminals = vec![t.attach];
         terminals.extend_from_slice(bucket);
-        let tree = config.steiner.solve(network.graph(), &terminals)?;
+        let tree = config
+            .steiner
+            .solve_with(network.graph(), &terminals, Some(network.paths()))?;
         total += t.chain_cost + tree.cost;
     }
     Ok((total, buckets))
@@ -141,7 +143,10 @@ pub(crate) fn assemble(
         }
         let mut terminals = vec![t.attach];
         terminals.extend_from_slice(bucket);
-        let tree: SteinerTree = config.steiner.solve(network.graph(), &terminals)?;
+        let tree: SteinerTree =
+            config
+                .steiner
+                .solve_with(network.graph(), &terminals, Some(network.paths()))?;
         for &d in bucket {
             let tail = tree
                 .path_between(network.graph(), t.attach, d)

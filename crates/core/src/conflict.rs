@@ -23,7 +23,7 @@
 
 use crate::Network;
 use serde::{Deserialize, Serialize};
-use sof_graph::{Cost, NodeId, ShortestPaths};
+use sof_graph::{Cost, NodeId};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -313,7 +313,6 @@ impl WalkSet {
     /// paths (the paper's "the sub-walk … can be shortened" step), keeping
     /// anchors (source, VNF VMs, last VM) fixed.
     pub fn shorten_all(&mut self, network: &Network) {
-        let mut cache: HashMap<NodeId, ShortestPaths> = HashMap::new();
         for slot in 0..self.slots.len() {
             let Some(w) = self.slots[slot].clone() else {
                 continue;
@@ -327,9 +326,7 @@ impl WalkSet {
             let mut positions = Vec::with_capacity(w.vnf_positions.len());
             for a in anchors.windows(2) {
                 let (from, to) = (w.nodes[a[0]], w.nodes[a[1]]);
-                let sp = cache
-                    .entry(from)
-                    .or_insert_with(|| ShortestPaths::from_source(network.graph(), from));
+                let sp = network.paths().from_source(network.graph(), from);
                 let path = sp.path_to(to).expect("network is connected");
                 nodes.extend_from_slice(&path[1..]);
                 if positions.len() < w.vnf_positions.len() {

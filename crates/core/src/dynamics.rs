@@ -1,9 +1,16 @@
 //! Dynamic adjustments of a deployed forest (§VII-C of the paper):
 //! destination join/leave, VNF insertion/deletion, congestion rerouting and
 //! VM-overload migration — all without re-running SOFDA from scratch.
+//!
+//! Every operation's shortest-path queries go through the network's shared
+//! [`sof_graph::PathEngine`] ([`crate::Network::paths`]): repeated trees —
+//! within one operation, across operations, and across arrivals of a
+//! standing [`crate::OnlineSession`] — are cache hits instead of fresh
+//! Dijkstras, and the former per-call `BTreeMap<NodeId, ShortestPaths>`
+//! caches (with their per-entry deep clones) are gone.
 
 use crate::{DestWalk, ServiceForest, SofInstance};
-use sof_graph::{Cost, NodeId, ShortestPaths};
+use sof_graph::{Cost, NodeId};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -153,7 +160,7 @@ pub fn destination_join_with(
         }
     }
 
-    let sp_from_d = ShortestPaths::from_source(network.graph(), d);
+    let sp_from_d = network.paths().from_source(network.graph(), d);
     // (cost, walk, pos, extension nodes, extension VNF offsets)
     type Extension = (Cost, usize, usize, Vec<NodeId>, Vec<usize>);
     let mut best: Option<Extension> = None;
@@ -186,7 +193,8 @@ pub fn destination_join_with(
             } else {
                 continue;
             }
-            let closure = sof_graph::MetricClosure::new(network.graph(), nodes.clone());
+            let closure =
+                sof_graph::MetricClosure::with_engine(network.graph(), nodes, network.paths());
             let nodes = closure.terminals().to_vec();
             let Some(xi) = nodes.iter().position(|&n| n == x) else {
                 continue;
@@ -277,7 +285,6 @@ pub fn vnf_delete(
         .map(|(_, n)| n.to_string())
         .collect();
     instance.request.chain = crate::ServiceChain::from_names(names);
-    let mut cache: BTreeMap<NodeId, ShortestPaths> = BTreeMap::new();
     for w in &mut forest.walks {
         let p_del = w.vnf_positions[idx];
         let p_prev = if idx == 0 {
@@ -292,9 +299,7 @@ pub fn vnf_delete(
         };
         let _ = p_del;
         let (a, b) = (w.nodes[p_prev], w.nodes[p_next]);
-        let sp = cache
-            .entry(a)
-            .or_insert_with(|| ShortestPaths::from_source(network.graph(), a));
+        let sp = network.paths().from_source(network.graph(), a);
         let path = sp
             .path_to(b)
             .ok_or_else(|| DynamicsError::Infeasible(format!("{a} cut off from {b}")))?;
@@ -345,7 +350,6 @@ pub fn vnf_insert(
         return Err(DynamicsError::NoFreeVm);
     }
     let mut chosen: BTreeMap<(NodeId, NodeId), NodeId> = BTreeMap::new(); // (a,b) -> shared v
-    let mut cache: BTreeMap<NodeId, ShortestPaths> = BTreeMap::new();
     let mut new_walks = forest.walks.clone();
     for w in &mut new_walks {
         let p_a = if idx == 0 {
@@ -362,14 +366,8 @@ pub fn vnf_insert(
         let v = match chosen.get(&(a, b)) {
             Some(&v) => v,
             None => {
-                let sp_a = cache
-                    .entry(a)
-                    .or_insert_with(|| ShortestPaths::from_source(network.graph(), a))
-                    .clone();
-                let sp_b = cache
-                    .entry(b)
-                    .or_insert_with(|| ShortestPaths::from_source(network.graph(), b))
-                    .clone();
+                let sp_a = network.paths().from_source(network.graph(), a);
+                let sp_b = network.paths().from_source(network.graph(), b);
                 let v = free
                     .iter()
                     .copied()
@@ -381,14 +379,8 @@ pub fn vnf_insert(
                 v
             }
         };
-        let sp_a = cache
-            .entry(a)
-            .or_insert_with(|| ShortestPaths::from_source(network.graph(), a))
-            .clone();
-        let sp_v = cache
-            .entry(v)
-            .or_insert_with(|| ShortestPaths::from_source(network.graph(), v))
-            .clone();
+        let sp_a = network.paths().from_source(network.graph(), a);
+        let sp_v = network.paths().from_source(network.graph(), v);
         let path_av = sp_a.path_to(v).ok_or(DynamicsError::NoFreeVm)?;
         let path_vb = sp_v.path_to(b).ok_or(DynamicsError::NoFreeVm)?;
         let mut nodes = w.nodes[..=p_a].to_vec();
@@ -431,7 +423,6 @@ pub fn vnf_insert(
 /// sit on expensive links.
 pub fn reroute_all(instance: &SofInstance, forest: &mut ServiceForest) {
     let network = &instance.network;
-    let mut cache: BTreeMap<NodeId, ShortestPaths> = BTreeMap::new();
     for w in &mut forest.walks {
         let mut anchors = vec![0usize];
         anchors.extend_from_slice(&w.vnf_positions);
@@ -442,9 +433,7 @@ pub fn reroute_all(instance: &SofInstance, forest: &mut ServiceForest) {
         let mut positions = Vec::with_capacity(w.vnf_positions.len());
         for pair in anchors.windows(2) {
             let (a, b) = (w.nodes[pair[0]], w.nodes[pair[1]]);
-            let sp = cache
-                .entry(a)
-                .or_insert_with(|| ShortestPaths::from_source(network.graph(), a));
+            let sp = network.paths().from_source(network.graph(), a);
             let path = sp.path_to(b).expect("network is connected");
             nodes.extend_from_slice(&path[1..]);
             if positions.len() < w.vnf_positions.len() {
@@ -482,7 +471,6 @@ pub fn migrate_vm(
     // Choose the replacement using the first affected walk's neighborhood.
     let mut replacement: Option<NodeId> = None;
     let mut new_walks = forest.walks.clone();
-    let mut cache: BTreeMap<NodeId, ShortestPaths> = BTreeMap::new();
     for w in &mut new_walks {
         let Some(i) = (0..w.vnf_positions.len()).find(|&i| w.vnf_node(i) == v) else {
             continue;
@@ -499,14 +487,8 @@ pub fn migrate_vm(
         let vv = match replacement {
             Some(vv) => vv,
             None => {
-                let sp_a = cache
-                    .entry(a)
-                    .or_insert_with(|| ShortestPaths::from_source(network.graph(), a))
-                    .clone();
-                let sp_b = cache
-                    .entry(b)
-                    .or_insert_with(|| ShortestPaths::from_source(network.graph(), b))
-                    .clone();
+                let sp_a = network.paths().from_source(network.graph(), a);
+                let sp_b = network.paths().from_source(network.graph(), b);
                 let vv = free
                     .iter()
                     .copied()
@@ -518,14 +500,8 @@ pub fn migrate_vm(
                 vv
             }
         };
-        let sp_a = cache
-            .entry(a)
-            .or_insert_with(|| ShortestPaths::from_source(network.graph(), a))
-            .clone();
-        let sp_v = cache
-            .entry(vv)
-            .or_insert_with(|| ShortestPaths::from_source(network.graph(), vv))
-            .clone();
+        let sp_a = network.paths().from_source(network.graph(), a);
+        let sp_v = network.paths().from_source(network.graph(), vv);
         let path_av = sp_a.path_to(vv).ok_or(DynamicsError::NoFreeVm)?;
         let path_vb = sp_v.path_to(b).ok_or(DynamicsError::NoFreeVm)?;
         let mut nodes = w.nodes[..=p_a].to_vec();

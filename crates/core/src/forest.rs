@@ -2,7 +2,7 @@
 
 use crate::{Network, SofInstance};
 use serde::{Deserialize, Serialize};
-use sof_graph::{Cost, NodeId, ShortestPaths};
+use sof_graph::{Cost, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -330,7 +330,6 @@ impl ServiceForest {
     pub fn shorten(&mut self, network: &Network) -> bool {
         let before = self.cost(network).total();
         let mut candidate = self.clone();
-        let mut trees: BTreeMap<NodeId, ShortestPaths> = BTreeMap::new();
         for w in &mut candidate.walks {
             let bounds = w.bounds();
             let mut new_nodes: Vec<NodeId> = vec![w.nodes[0]];
@@ -338,9 +337,7 @@ impl ServiceForest {
             for s in 0..bounds.len() - 1 {
                 let (lo, hi) = (bounds[s], bounds[s + 1]);
                 let (a, b) = (w.nodes[lo], w.nodes[hi]);
-                let sp = trees
-                    .entry(a)
-                    .or_insert_with(|| ShortestPaths::from_source(network.graph(), a));
+                let sp = network.paths().from_source(network.graph(), a);
                 let path = sp.path_to(b).expect("forest nodes are connected");
                 new_nodes.extend_from_slice(&path[1..]);
                 if s < w.vnf_positions.len() {

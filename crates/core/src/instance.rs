@@ -1,7 +1,7 @@
 //! Problem instance model: network, service chain, request.
 
 use serde::{Deserialize, Serialize};
-use sof_graph::{Cost, Graph, NodeId};
+use sof_graph::{Cost, Graph, NodeId, PathEngine};
 use std::fmt;
 
 /// Role of a network node (§III of the paper: `V = M ∪ U`).
@@ -64,6 +64,16 @@ pub struct Network {
     graph: Graph,
     kinds: Vec<NodeKind>,
     costs: Vec<Cost>,
+    /// Memoizing shortest-path service for this network's graph. Shared by
+    /// clones (an `Arc` handle), skipped by serde (a deserialized network
+    /// starts cold). Every shortest-path consumer in the workspace — the
+    /// §VII-C dynamics, walk shortening, conflict resolution, the chain
+    /// metric and the baselines — queries it instead of running throwaway
+    /// Dijkstras, so a standing network (e.g. an `OnlineSession`) keeps its
+    /// trees warm across operations. Graph mutations invalidate lazily via
+    /// [`Graph::cost_epoch`].
+    #[serde(skip, default)]
+    paths: PathEngine,
 }
 
 impl Network {
@@ -74,6 +84,7 @@ impl Network {
             graph,
             kinds: vec![NodeKind::Switch; n],
             costs: vec![Cost::ZERO; n],
+            paths: PathEngine::new(),
         }
     }
 
@@ -99,6 +110,7 @@ impl Network {
             graph,
             kinds,
             costs,
+            paths: PathEngine::new(),
         })
     }
 
@@ -118,9 +130,18 @@ impl Network {
     }
 
     /// Mutable access to the graph (used by the online cost model to update
-    /// link costs).
+    /// link costs). Mutations renew the graph's cost epoch, which lazily
+    /// invalidates the [`Network::paths`] cache — no eager clearing needed.
     pub fn graph_mut(&mut self) -> &mut Graph {
         &mut self.graph
+    }
+
+    /// The network's shared shortest-path engine (see [`PathEngine`]).
+    ///
+    /// Queries are memoized per `(source set, cost epoch)`; results are
+    /// bit-identical to running [`sof_graph::ShortestPaths`] directly.
+    pub fn paths(&self) -> &PathEngine {
+        &self.paths
     }
 
     /// Kind of node `v`.

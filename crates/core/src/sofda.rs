@@ -222,11 +222,19 @@ pub fn solve_sofda(
     stats.conflicts = set.stats;
 
     // --- Assemble per-destination walks. ----------------------------------
+    // Each chain is taken out of the walk set once; all but the last tail
+    // borrow it (single exact-sized allocation per walk), the last one
+    // takes ownership of its buffers.
+    let mut by_slot: BTreeMap<usize, ChainWalk> = set.into_walks().into_iter().collect();
     let mut walks = Vec::with_capacity(dests.len());
     for (key, tails) in &needed_chains {
-        let chain = set.walk(slot_of[key]).clone();
-        for (d, tail) in tails {
-            let mut nodes = chain.nodes.clone();
+        let chain = by_slot
+            .remove(&slot_of[key])
+            .ok_or_else(|| SolveError::Infeasible("deployed chain lost its slot".into()))?;
+        let (last_tail, rest) = tails.split_last().expect("every needed chain has a tail");
+        for (d, tail) in rest {
+            let mut nodes = Vec::with_capacity(chain.nodes.len() + tail.len() - 1);
+            nodes.extend_from_slice(&chain.nodes);
             nodes.extend_from_slice(&tail[1..]);
             walks.push(DestWalk {
                 destination: *d,
@@ -235,6 +243,16 @@ pub fn solve_sofda(
                 vnf_positions: chain.vnf_positions.clone(),
             });
         }
+        let (d, tail) = last_tail;
+        let source = chain.source;
+        let mut nodes = chain.nodes;
+        nodes.extend_from_slice(&tail[1..]);
+        walks.push(DestWalk {
+            destination: *d,
+            source,
+            nodes,
+            vnf_positions: chain.vnf_positions,
+        });
     }
     crate::sofda_ss::finish(
         instance,

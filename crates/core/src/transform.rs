@@ -54,7 +54,10 @@ impl ChainMetric {
                 nodes.push(v);
             }
         }
-        let closure = MetricClosure::new(network.graph(), nodes.clone());
+        // Engine-backed closure: the VM trees are shared across every
+        // source's ChainMetric within a solve — and across solves while the
+        // network is unchanged — instead of re-running k Dijkstras here.
+        let closure = MetricClosure::with_engine(network.graph(), nodes.clone(), network.paths());
         // Pairwise distances must be finite.
         for &a in &nodes {
             for &b in &nodes {

@@ -7,6 +7,50 @@ use sof_core::{DestWalk, ServiceForest, SofInstance};
 use sof_graph::{Cost, NodeId};
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Memo of relaxation results keyed by the canonical restriction set.
+///
+/// Branch-and-bound paths frequently converge on identical restriction
+/// maps (restricting VM `a` then `b` meets `b` then `a`; the diving
+/// heuristic walks the same keep-smallest-layer restrictions the first
+/// child branches re-derive), and `directed_steiner` is a pure function of
+/// `(layered graph, restrictions)` — so each distinct restriction set is
+/// solved exactly once per `solve_exact` call. Shared across the forked
+/// child relaxations behind a mutex; hits return the identical
+/// `Arborescence`, so results stay bit-identical for any thread count.
+struct RelaxMemo(Mutex<HashMap<RestrictionKey, Option<Arborescence>>>);
+
+/// Canonical form of a [`Restrictions`] map: sorted `(vm, mask)` pairs.
+type RestrictionKey = Vec<(usize, u32)>;
+
+impl RelaxMemo {
+    fn new() -> RelaxMemo {
+        RelaxMemo(Mutex::new(HashMap::new()))
+    }
+
+    fn canon(r: &Restrictions) -> RestrictionKey {
+        let mut key: RestrictionKey = r.allowed.iter().map(|(&v, &m)| (v, m)).collect();
+        key.sort_unstable();
+        key
+    }
+
+    fn solve(&self, lg: &LayeredGraph, r: &Restrictions) -> Option<Arborescence> {
+        let key = RelaxMemo::canon(r);
+        if let Some(hit) = self.0.lock().expect("relax memo lock").get(&key) {
+            return hit.clone();
+        }
+        // Computed outside the lock: sibling branches with distinct
+        // restriction sets must relax in parallel, and a duplicate
+        // computation of the same key is deterministic anyway.
+        let result = directed_steiner(lg, r);
+        self.0
+            .lock()
+            .expect("relax memo lock")
+            .insert(key, result.clone());
+        result
+    }
+}
 
 /// Shared upper bound on the optimum: the incumbent's cost as `f64` bits
 /// (`f64::INFINITY` before any incumbent exists). Workers evaluating
@@ -119,7 +163,10 @@ pub fn solve_exact_with(
     threads: usize,
 ) -> Result<ExactOutcome, ExactError> {
     let lg = LayeredGraph::build(instance, Cost::ZERO);
-    let root_rel = directed_steiner(&lg, &Restrictions::default()).ok_or(ExactError::Infeasible)?;
+    let memo = RelaxMemo::new();
+    let root_rel = memo
+        .solve(&lg, &Restrictions::default())
+        .ok_or(ExactError::Infeasible)?;
     let lower_bound = root_rel.cost;
 
     // Best-first queue ordered by relaxation cost.
@@ -180,7 +227,7 @@ pub fn solve_exact_with(
                 .expect("non-empty");
             let keep = *layers.iter().min().expect("non-empty");
             r.restrict(vm, 1u32 << keep);
-            match directed_steiner(&lg, &r) {
+            match memo.solve(&lg, &r) {
                 Some(next) => arb = next,
                 None => break,
             }
@@ -227,7 +274,8 @@ pub fn solve_exact_with(
         let children = sof_par::par_map_indexed(&masks, threads, |_, &mask| {
             let mut r = node.restrictions.clone();
             r.restrict(vm, mask);
-            directed_steiner(&lg, &r).and_then(|arb| bound.beats(arb.cost).then_some((r, arb)))
+            memo.solve(&lg, &r)
+                .and_then(|arb| bound.beats(arb.cost).then_some((r, arb)))
         })
         .unwrap_or_else(|e| panic!("exact branch evaluation: {e}"));
         for (r, arb) in children.into_iter().flatten() {
@@ -428,6 +476,20 @@ mod tests {
         )
         .unwrap();
         assert_eq!(solve_exact(&inst, 10).unwrap_err(), ExactError::Infeasible);
+    }
+
+    #[test]
+    fn memoized_relaxations_are_reproducible() {
+        // The restriction memo must not leak state across calls or alter
+        // the search: two full solves of the same instance agree exactly,
+        // including the explored-node count and the forest structure.
+        let inst = random_instance(11, 2, 3);
+        let a = solve_exact(&inst, 500).unwrap();
+        let b = solve_exact(&inst, 500).unwrap();
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.nodes_explored, b.nodes_explored);
+        assert_eq!(a.optimal, b.optimal);
+        assert_eq!(a.forest, b.forest);
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! A memoizing shortest-path service shared across solvers and sessions.
+//!
+//! Every algorithm in the workspace bottoms out in (multi-source) Dijkstra
+//! queries, and most of them repeat queries — the same source trees are
+//! needed by SOFDA's metric closures, the §VII-C dynamics, walk shortening
+//! and the baselines, often within one solve and always across solves on an
+//! unchanged network. [`PathEngine`] turns those repeats into cache hits:
+//!
+//! * queries are keyed by `(sorted source set, cost epoch)` where the cost
+//!   epoch is [`Graph::cost_epoch`] — a stamp renewed on every mutation —
+//!   so a cost or topology change *lazily* invalidates the cache (no eager
+//!   clearing, no risk of serving stale distances);
+//! * misses run through one long-lived [`DijkstraWorkspace`], so the
+//!   Dijkstra itself does no O(n) allocation once warm (the only O(n) work
+//!   on a miss is the snapshot copied into the cache);
+//! * hits return a cheap [`Arc`] clone of the cached tree — zero O(n)
+//!   allocation on the warm path.
+//!
+//! # Sharing semantics
+//!
+//! The handle is internally synchronized (`Arc<Mutex<…>>`): cloning a
+//! `PathEngine` shares the cache, so a `Network` clone keeps its warmth.
+//! Because epochs are process-unique (two graphs share one only when one is
+//! an unmutated clone of the other), a single engine may even be handed
+//! graphs from different networks without ever mixing their entries. Own
+//! one engine per standing network (what `sof_core::Network` does) when you
+//! want isolation; share a handle when clones should stay warm.
+//!
+//! # Examples
+//!
+//! ```
+//! use sof_graph::{Cost, Graph, NodeId, PathEngine};
+//!
+//! let mut g = Graph::with_nodes(3);
+//! let e01 = g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(1.0));
+//! g.add_edge(NodeId::new(1), NodeId::new(2), Cost::new(2.0));
+//! let engine = PathEngine::new();
+//! let sp = engine.from_source(&g, NodeId::new(0));
+//! assert_eq!(sp.dist(NodeId::new(2)), Cost::new(3.0));
+//! // The second query is a cache hit: same tree, no recomputation.
+//! let again = engine.from_source(&g, NodeId::new(0));
+//! assert!(std::sync::Arc::ptr_eq(&sp, &again));
+//! // Mutating a cost bumps the graph's epoch; the stale entry is replaced.
+//! g.set_edge_cost(e01, Cost::new(10.0));
+//! assert_eq!(engine.from_source(&g, NodeId::new(0)).dist(NodeId::new(2)), Cost::new(12.0));
+//! ```
+
+use crate::{DijkstraWorkspace, Graph, NodeId, ShortestPaths};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Source sets kept before stale/overflowing entries are evicted.
+const MAX_ENTRIES: usize = 4096;
+
+/// Trees retained per source set: one per recently-seen cost epoch, so a
+/// handful of live graphs (e.g. a network and a mutated clone sharing one
+/// engine) stay warm side by side instead of evicting each other on every
+/// alternating query.
+const EPOCHS_PER_SET: usize = 4;
+
+/// Counters describing how the engine has been used. `stale` counts misses
+/// for a source set that was cached at other cost epochs (`stale ⊆ misses`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathEngineStats {
+    /// Queries served straight from the cache (zero O(n) work).
+    pub hits: u64,
+    /// Queries that ran a Dijkstra (first sight or new cost epoch).
+    pub misses: u64,
+    /// Misses whose source set was cached, but under different epochs.
+    pub stale: u64,
+    /// Bulk evictions triggered by the entry cap.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct EngineInner {
+    /// Sorted, deduplicated source set → trees per cost epoch, most recent
+    /// last (at most [`EPOCHS_PER_SET`], oldest dropped first).
+    cache: HashMap<Vec<NodeId>, Vec<(u64, Arc<ShortestPaths>)>>,
+    workspace: DijkstraWorkspace,
+    stats: PathEngineStats,
+}
+
+/// A memoizing shortest-path engine; see the [module docs](self).
+///
+/// Cloning shares the underlying cache and workspace.
+#[derive(Clone, Debug, Default)]
+pub struct PathEngine {
+    inner: Arc<Mutex<EngineInner>>,
+}
+
+impl PathEngine {
+    /// Creates an empty engine.
+    pub fn new() -> PathEngine {
+        PathEngine::default()
+    }
+
+    /// The shortest-path tree from `source`, cached per
+    /// [`Graph::cost_epoch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn from_source(&self, graph: &Graph, source: NodeId) -> Arc<ShortestPaths> {
+        // Hits probe with a borrowed slice — no key allocation on the
+        // warm path (this is the hot single-source query of the §VII-C
+        // dynamics and walk shortening).
+        self.query(graph, std::slice::from_ref(&source))
+    }
+
+    /// The multi-source tree (Voronoi labelling included) for `sources`,
+    /// cached per source *set*: order and duplicates do not affect the
+    /// result, so the key is sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source is out of range.
+    pub fn from_sources(&self, graph: &Graph, sources: &[NodeId]) -> Arc<ShortestPaths> {
+        let mut key = sources.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        self.query(graph, &key)
+    }
+
+    /// `key` must be sorted and deduplicated.
+    fn query(&self, graph: &Graph, key: &[NodeId]) -> Arc<ShortestPaths> {
+        let epoch = graph.cost_epoch();
+        let mut guard = self.inner.lock().expect("path engine lock");
+        let inner = &mut *guard;
+        if let Some(entries) = inner.cache.get(key) {
+            if let Some((_, paths)) = entries.iter().find(|(e, _)| *e == epoch) {
+                inner.stats.hits += 1;
+                return Arc::clone(paths);
+            }
+            inner.stats.stale += 1;
+        }
+        inner.stats.misses += 1;
+        inner.workspace.run(graph, key.iter().copied());
+        let paths = Arc::new(inner.workspace.snapshot());
+        if inner.cache.len() >= MAX_ENTRIES && !inner.cache.contains_key(key) {
+            // Drop source sets with no tree at the current epoch first; if
+            // the cache is still full the whole map goes (rare, and
+            // refilling is just warm-up work).
+            inner
+                .cache
+                .retain(|_, entries| entries.iter().any(|(e, _)| *e == epoch));
+            if inner.cache.len() >= MAX_ENTRIES {
+                inner.cache.clear();
+            }
+            inner.stats.evictions += 1;
+        }
+        let entries = inner.cache.entry(key.to_vec()).or_default();
+        entries.push((epoch, Arc::clone(&paths)));
+        if entries.len() > EPOCHS_PER_SET {
+            entries.remove(0);
+        }
+        paths
+    }
+
+    /// Usage counters (hits / misses / stale replacements / evictions).
+    pub fn stats(&self) -> PathEngineStats {
+        self.inner.lock().expect("path engine lock").stats
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("path engine lock").cache.len()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached tree (the workspace stays warm).
+    pub fn clear(&self) {
+        self.inner.lock().expect("path engine lock").cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cost;
+
+    fn line(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n - 1 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1), Cost::new(1.0));
+        }
+        g
+    }
+
+    #[test]
+    fn warm_queries_are_shared_and_allocation_free() {
+        let g = line(6);
+        let engine = PathEngine::new();
+        let a = engine.from_source(&g, NodeId::new(0));
+        let b = engine.from_source(&g, NodeId::new(0));
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the cached tree");
+        let stats = engine.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // The single miss ran through the shared workspace exactly once and
+        // a further hit does not touch it: no per-query O(n) allocation.
+        let c = engine.from_source(&g, NodeId::new(0));
+        assert!(Arc::ptr_eq(&a, &c));
+        assert_eq!(engine.stats().hits, 2);
+        assert_eq!(engine.stats().misses, 1);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_stale_entries() {
+        let mut g = line(4);
+        let engine = PathEngine::new();
+        let before = engine.from_source(&g, NodeId::new(0));
+        assert_eq!(before.dist(NodeId::new(3)), Cost::new(3.0));
+        let e = g.edge_between(NodeId::new(2), NodeId::new(3)).unwrap();
+        g.set_edge_cost(e, Cost::new(10.0));
+        let after = engine.from_source(&g, NodeId::new(0));
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "stale entry must not be served"
+        );
+        assert_eq!(after.dist(NodeId::new(3)), Cost::new(12.0));
+        let stats = engine.stats();
+        assert_eq!(stats.stale, 1);
+        assert_eq!(stats.misses, 2);
+        // The pre-mutation Arc still reads the old (consistent) snapshot.
+        assert_eq!(before.dist(NodeId::new(3)), Cost::new(3.0));
+    }
+
+    #[test]
+    fn diverged_clones_stay_warm_side_by_side() {
+        // A graph and its mutated clone share one engine (the Network
+        // clone semantics): alternating queries must all be hits after the
+        // first sight of each epoch, not mutual evictions.
+        let g1 = line(5);
+        let mut g2 = g1.clone();
+        let e = g2.edge_between(NodeId::new(0), NodeId::new(1)).unwrap();
+        g2.set_edge_cost(e, Cost::new(7.0));
+        let engine = PathEngine::new();
+        let s = NodeId::new(0);
+        let first = engine.from_source(&g1, s);
+        let second = engine.from_source(&g2, s);
+        for _ in 0..3 {
+            assert!(Arc::ptr_eq(&first, &engine.from_source(&g1, s)));
+            assert!(Arc::ptr_eq(&second, &engine.from_source(&g2, s)));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 2, "one Dijkstra per live epoch: {stats:?}");
+        assert_eq!(stats.hits, 6);
+        assert_eq!(first.dist(NodeId::new(1)), Cost::new(1.0));
+        assert_eq!(second.dist(NodeId::new(1)), Cost::new(7.0));
+    }
+
+    #[test]
+    fn source_sets_are_canonicalized() {
+        let g = line(5);
+        let engine = PathEngine::new();
+        let a = engine.from_sources(&g, &[NodeId::new(4), NodeId::new(0), NodeId::new(0)]);
+        let b = engine.from_sources(&g, &[NodeId::new(0), NodeId::new(4)]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.dist(NodeId::new(2)), Cost::new(2.0));
+        assert_eq!(a.site(NodeId::new(1)), Some(NodeId::new(0)));
+        assert_eq!(engine.stats().hits, 1);
+    }
+
+    #[test]
+    fn matches_plain_dijkstra() {
+        let mut rng = crate::Rng64::seed_from(9);
+        let g =
+            crate::generators::gnp_connected(30, 0.15, crate::CostRange::new(1.0, 5.0), &mut rng);
+        let engine = PathEngine::new();
+        for s in [0usize, 7, 29] {
+            let sp = engine.from_source(&g, NodeId::new(s));
+            let reference = ShortestPaths::from_source(&g, NodeId::new(s));
+            for v in g.nodes() {
+                assert_eq!(sp.dist(v), reference.dist(v));
+                assert_eq!(sp.parent(v), reference.parent(v));
+                assert_eq!(sp.path_to(v), reference.path_to(v));
+            }
+        }
+    }
+
+    #[test]
+    fn clones_share_the_cache() {
+        let g = line(4);
+        let engine = PathEngine::new();
+        let shared = engine.clone();
+        let a = engine.from_source(&g, NodeId::new(1));
+        let b = shared.from_source(&g, NodeId::new(1));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(shared.stats().hits, 1);
+        assert_eq!(engine.len(), 1);
+        engine.clear();
+        assert!(shared.is_empty());
+    }
+}

@@ -43,6 +43,11 @@ impl Edge {
 /// Nodes are dense indices `0..node_count`. Parallel edges are allowed
 /// (useful when VMs are replicated); self-loops are not.
 ///
+/// Every mutation (adding nodes or edges, changing an edge cost) stamps the
+/// graph with a fresh process-wide *cost epoch* (see [`Graph::cost_epoch`]);
+/// the [`crate::PathEngine`] keys its shortest-path cache on it, so stale
+/// entries are never served and unchanged graphs keep their warm cache.
+///
 /// # Examples
 ///
 /// ```
@@ -60,6 +65,20 @@ impl Edge {
 pub struct Graph {
     adj: Vec<Vec<(NodeId, EdgeId)>>,
     edges: Vec<Edge>,
+    /// Process-unique stamp of this graph's current topology + costs.
+    ///
+    /// Freshly drawn from a global counter on every mutation, so two graphs
+    /// share an epoch only when one is an unmutated clone of the other —
+    /// i.e. equal epochs imply equal contents. Not serialized (clones of a
+    /// deserialized graph get fresh epochs as they mutate).
+    epoch: u64,
+}
+
+/// Draws the next process-wide cost epoch (never zero).
+fn next_cost_epoch() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Serialized form of a [`Graph`]: node count plus edge list.
@@ -99,12 +118,23 @@ impl Graph {
         Graph {
             adj: vec![Vec::new(); n],
             edges: Vec::new(),
+            epoch: next_cost_epoch(),
         }
+    }
+
+    /// The graph's current cost epoch: a process-unique stamp renewed on
+    /// every mutation. Equal epochs imply identical topology and edge
+    /// costs, which is what lets [`crate::PathEngine`] reuse cached
+    /// shortest-path trees without ever serving stale distances.
+    #[inline]
+    pub fn cost_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Adds a node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
         self.adj.push(Vec::new());
+        self.epoch = next_cost_epoch();
         NodeId::new(self.adj.len() - 1)
     }
 
@@ -121,6 +151,7 @@ impl Graph {
         self.edges.push(Edge { u, v, cost });
         self.adj[u.index()].push((v, id));
         self.adj[v.index()].push((u, id));
+        self.epoch = next_cost_epoch();
         id
     }
 
@@ -166,8 +197,12 @@ impl Graph {
     }
 
     /// Updates the cost of edge `e` (used by the online cost model).
+    ///
+    /// Renews the [cost epoch](Self::cost_epoch), which lazily invalidates
+    /// every [`crate::PathEngine`] cache entry computed on the old costs.
     pub fn set_edge_cost(&mut self, e: EdgeId, cost: Cost) {
         self.edges[e.index()].cost = cost;
+        self.epoch = next_cost_epoch();
     }
 
     /// Neighbors of `u` as `(neighbor, edge)` pairs, in insertion order.
@@ -307,6 +342,24 @@ mod tests {
     fn self_loop_panics() {
         let mut g = Graph::with_nodes(1);
         g.add_edge(NodeId::new(0), NodeId::new(0), Cost::ZERO);
+    }
+
+    #[test]
+    fn cost_epoch_tracks_mutations() {
+        let mut g = triangle();
+        let e0 = g.cost_epoch();
+        let clone = g.clone();
+        // An unmutated clone shares the epoch (identical contents).
+        assert_eq!(clone.cost_epoch(), e0);
+        let e = g.edge_between(NodeId::new(0), NodeId::new(1)).unwrap();
+        g.set_edge_cost(e, Cost::new(9.0));
+        assert_ne!(g.cost_epoch(), e0, "cost change renews the epoch");
+        assert_eq!(clone.cost_epoch(), e0, "the clone is untouched");
+        let before = g.cost_epoch();
+        g.add_node();
+        assert_ne!(g.cost_epoch(), before, "topology change renews the epoch");
+        // Distinct graphs never share an epoch, even with equal contents.
+        assert_ne!(triangle().cost_epoch(), triangle().cost_epoch());
     }
 
     #[test]

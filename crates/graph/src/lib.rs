@@ -7,7 +7,14 @@
 //!   [`NodeId`] / [`EdgeId`] handles and non-NaN [`Cost`] weights,
 //! * [`ShortestPaths`] — single- and multi-source Dijkstra with path
 //!   reconstruction and Voronoi sites (for Mehlhorn's Steiner algorithm),
+//! * [`DijkstraWorkspace`] — a reusable, epoch-stamped Dijkstra scratchpad:
+//!   O(1) reset between runs, zero O(n) allocation once warm,
+//! * [`PathEngine`] — a memoizing shortest-path service keyed by
+//!   `(source set, cost epoch)`; hands out shared `Arc<ShortestPaths>`
+//!   trees and lazily invalidates on any graph mutation (see its module
+//!   docs for when to share one engine vs own one),
 //! * [`MetricClosure`] — pairwise terminal distances with realizing paths,
+//!   optionally engine-backed ([`MetricClosure::with_engine`]),
 //! * [`minimum_spanning_forest`] — Kruskal MST over a [`UnionFind`],
 //! * [`generators`] — deterministic connected random topologies (Erdős–Rényi,
 //!   ring, grid, Waxman, Inet-style power law),
@@ -36,6 +43,7 @@
 
 mod cost;
 mod dijkstra;
+mod engine;
 pub mod generators;
 mod graph;
 mod ids;
@@ -45,7 +53,8 @@ mod rng;
 mod unionfind;
 
 pub use cost::Cost;
-pub use dijkstra::ShortestPaths;
+pub use dijkstra::{DijkstraWorkspace, ShortestPaths};
+pub use engine::{PathEngine, PathEngineStats};
 pub use generators::CostRange;
 pub use graph::{Edge, Graph};
 pub use ids::{EdgeId, NodeId};

@@ -1,6 +1,7 @@
 //! Metric closure over a set of terminal nodes.
 
-use crate::{Cost, Graph, NodeId, ShortestPaths};
+use crate::{Cost, Graph, NodeId, PathEngine, ShortestPaths};
+use std::sync::Arc;
 
 /// The metric closure of a graph restricted to a terminal set.
 ///
@@ -26,24 +27,45 @@ use crate::{Cost, Graph, NodeId, ShortestPaths};
 pub struct MetricClosure {
     terminals: Vec<NodeId>,
     index_of: Vec<Option<u32>>,
-    trees: Vec<ShortestPaths>,
+    /// Shared so an engine-backed closure costs one `Arc` clone per cached
+    /// terminal instead of one Dijkstra (or one deep copy) per terminal.
+    trees: Vec<Arc<ShortestPaths>>,
 }
 
 impl MetricClosure {
     /// Builds the closure for `terminals` in `graph`.
     ///
     /// Duplicate terminals are collapsed.
-    pub fn new(graph: &Graph, mut terminals: Vec<NodeId>) -> MetricClosure {
+    pub fn new(graph: &Graph, terminals: Vec<NodeId>) -> MetricClosure {
+        MetricClosure::build(terminals, graph, |g, t| {
+            Arc::new(ShortestPaths::from_source(g, t))
+        })
+    }
+
+    /// Builds the closure through a [`PathEngine`]: terminal trees already
+    /// cached for the graph's current [cost epoch](Graph::cost_epoch) are
+    /// reused (an `Arc` clone), fresh ones are computed once and cached for
+    /// the next caller. Results are bit-identical to [`MetricClosure::new`].
+    pub fn with_engine(
+        graph: &Graph,
+        terminals: Vec<NodeId>,
+        engine: &PathEngine,
+    ) -> MetricClosure {
+        MetricClosure::build(terminals, graph, |g, t| engine.from_source(g, t))
+    }
+
+    fn build(
+        mut terminals: Vec<NodeId>,
+        graph: &Graph,
+        tree_of: impl Fn(&Graph, NodeId) -> Arc<ShortestPaths>,
+    ) -> MetricClosure {
         terminals.sort();
         terminals.dedup();
         let mut index_of = vec![None; graph.node_count()];
         for (i, &t) in terminals.iter().enumerate() {
             index_of[t.index()] = Some(i as u32);
         }
-        let trees = terminals
-            .iter()
-            .map(|&t| ShortestPaths::from_source(graph, t))
-            .collect();
+        let trees = terminals.iter().map(|&t| tree_of(graph, t)).collect();
         MetricClosure {
             terminals,
             index_of,
@@ -140,6 +162,26 @@ mod tests {
         assert_eq!(mc.len(), 2);
         assert_eq!(mc.terminal_index(NodeId::new(2)), Some(1));
         assert_eq!(mc.terminal_index(NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn engine_backed_closure_matches_plain() {
+        let g = path_graph(6);
+        let engine = PathEngine::new();
+        let ts = vec![NodeId::new(0), NodeId::new(3), NodeId::new(5)];
+        let plain = MetricClosure::new(&g, ts.clone());
+        let cached = MetricClosure::with_engine(&g, ts.clone(), &engine);
+        for &a in &ts {
+            for &b in &ts {
+                assert_eq!(plain.dist_between(a, b), cached.dist_between(a, b));
+                assert_eq!(plain.path_between(a, b), cached.path_between(a, b));
+            }
+        }
+        // A second engine-backed build is pure cache hits.
+        let misses = engine.stats().misses;
+        let _again = MetricClosure::with_engine(&g, ts, &engine);
+        assert_eq!(engine.stats().misses, misses);
+        assert_eq!(engine.stats().hits, 3);
     }
 
     #[test]

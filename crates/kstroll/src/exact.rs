@@ -43,6 +43,68 @@ pub fn exact_stroll(
     target: usize,
     k: usize,
 ) -> Option<Stroll> {
+    let mut ws = ExactWorkspace::new(metric.len());
+    exact_stroll_with(metric, source, target, k, &mut ws)
+}
+
+/// Exact k-strolls from `source` to **every** target on one shared
+/// workspace: the nearest-first candidate orderings (one stable row sort
+/// per visited node) and the search buffers are computed once and reused
+/// across all `n` targets, instead of re-allocated and re-sorted inside
+/// every DFS node of every per-target call. Entry `t` equals
+/// `exact_stroll(metric, source, t, k)` bit-for-bit — stably sorting the
+/// full row and skipping used nodes visits candidates in exactly the order
+/// the per-call filtered sort did.
+pub fn exact_all_targets(metric: &DenseMetric, source: usize, k: usize) -> Vec<Option<Stroll>> {
+    let n = metric.len();
+    let mut out: Vec<Option<Stroll>> = vec![None; n];
+    if source >= n {
+        return out;
+    }
+    let mut ws = ExactWorkspace::new(n);
+    for (t, slot) in out.iter_mut().enumerate() {
+        *slot = exact_stroll_with(metric, source, t, k, &mut ws);
+    }
+    out
+}
+
+/// Reusable state shared by every target of one `(metric, source)` search:
+/// per-node candidate orderings plus the DFS scratch buffers.
+struct ExactWorkspace {
+    /// `rows[v]` = all nodes stably sorted by `cost(v, ·)` ascending
+    /// (computed lazily, once per `v`). Skipping `used` nodes while
+    /// scanning such a row reproduces the nearest-first order the search
+    /// previously obtained by filtering and re-sorting per DFS node.
+    rows: Vec<Vec<usize>>,
+    used: Vec<bool>,
+    path: Vec<usize>,
+}
+
+impl ExactWorkspace {
+    fn new(n: usize) -> ExactWorkspace {
+        ExactWorkspace {
+            rows: vec![Vec::new(); n],
+            used: vec![false; n],
+            path: Vec::with_capacity(8),
+        }
+    }
+
+    fn ensure_row(&mut self, metric: &DenseMetric, v: usize) {
+        if self.rows[v].is_empty() {
+            let mut row: Vec<usize> = (0..metric.len()).collect();
+            row.sort_by_key(|&w| metric.cost(v, w));
+            self.rows[v] = row;
+        }
+    }
+}
+
+fn exact_stroll_with(
+    metric: &DenseMetric,
+    source: usize,
+    target: usize,
+    k: usize,
+    ws: &mut ExactWorkspace,
+) -> Option<Stroll> {
     let n = metric.len();
     if source >= n || target >= n || k > n {
         return None;
@@ -57,43 +119,31 @@ pub fn exact_stroll(
         return Some(Stroll::from_nodes(metric, vec![source, target]));
     }
 
-    // Cheapest positive hop, used for the admissible lower bound.
-    let mut min_edge = Cost::INFINITY;
-    for i in 0..n {
-        for j in 0..n {
-            if i != j {
-                min_edge = min_edge.min(metric.cost(i, j));
-            }
-        }
-    }
+    // Cheapest hop (memoized by the metric), used for the admissible bound.
+    let min_edge = metric.min_hop();
 
     let interior = k - 2;
-    let mut used = vec![false; n];
-    used[source] = true;
-    used[target] = true;
-    let mut path = vec![source];
+    ws.used[source] = true;
+    ws.used[target] = true;
+    ws.path.clear();
+    ws.path.push(source);
     let mut best: Option<(Cost, Vec<usize>)> = None;
-
-    // Candidate pool excluding the endpoints.
-    let candidates: Vec<usize> = (0..n).filter(|&v| v != source && v != target).collect();
 
     #[allow(clippy::too_many_arguments)] // recursion state threaded explicitly
     fn dfs(
         metric: &DenseMetric,
-        candidates: &[usize],
+        ws: &mut ExactWorkspace,
         target: usize,
         remaining: usize,
         min_edge: Cost,
         cur_cost: Cost,
-        path: &mut Vec<usize>,
-        used: &mut [bool],
         best: &mut Option<(Cost, Vec<usize>)>,
     ) {
-        let cur = *path.last().expect("path never empty");
+        let cur = *ws.path.last().expect("path never empty");
         if remaining == 0 {
             let total = cur_cost + metric.cost(cur, target);
             if best.as_ref().is_none_or(|(b, _)| total < *b) {
-                let mut nodes = path.clone();
+                let mut nodes = ws.path.clone();
                 nodes.push(target);
                 *best = Some((total, nodes));
             }
@@ -107,39 +157,42 @@ pub fn exact_stroll(
                 return;
             }
         }
-        // Visit nearest-first for stronger pruning.
-        let mut order: Vec<usize> = candidates.iter().copied().filter(|&v| !used[v]).collect();
-        order.sort_by_key(|&v| metric.cost(cur, v));
-        for v in order {
-            used[v] = true;
-            path.push(v);
+        // Visit nearest-first for stronger pruning, scanning the memoized
+        // stable ordering and skipping nodes already on the path (plus the
+        // endpoints, marked used for the whole search).
+        ws.ensure_row(metric, cur);
+        for i in 0..ws.rows[cur].len() {
+            let v = ws.rows[cur][i];
+            if ws.used[v] {
+                continue;
+            }
+            ws.used[v] = true;
+            ws.path.push(v);
             dfs(
                 metric,
-                candidates,
+                ws,
                 target,
                 remaining - 1,
                 min_edge,
                 cur_cost + metric.cost(cur, v),
-                path,
-                used,
                 best,
             );
-            path.pop();
-            used[v] = false;
+            ws.path.pop();
+            ws.used[v] = false;
         }
     }
 
     dfs(
         metric,
-        &candidates,
+        ws,
         target,
         interior,
         min_edge,
         Cost::ZERO,
-        &mut path,
-        &mut used,
         &mut best,
     );
+    ws.used[source] = false;
+    ws.used[target] = false;
     best.map(|(_, nodes)| Stroll::from_nodes(metric, nodes))
 }
 
@@ -191,5 +244,40 @@ mod tests {
         assert_eq!(estimated_work(10, 2), 1.0);
         assert_eq!(estimated_work(10, 3), 8.0);
         assert_eq!(estimated_work(10, 4), 8.0 * 7.0);
+    }
+
+    #[test]
+    fn all_targets_bit_identical_to_per_target_calls() {
+        // Unit-ish integer costs maximize tie-break stress: the shared
+        // workspace must reproduce not just the optimal cost but the exact
+        // node sequence the standalone search picks among equal optima.
+        let m = DenseMetric::symmetric_from_fn(12, |i, j| {
+            Cost::new(1.0 + ((i * 7 + j * 3) % 4) as f64)
+        });
+        for k in 1..=5 {
+            let all = exact_all_targets(&m, 2, k);
+            for (t, entry) in all.iter().enumerate() {
+                let single = exact_stroll(&m, 2, t, k);
+                assert_eq!(
+                    entry.as_ref().map(|s| (&s.nodes, s.cost)),
+                    single.as_ref().map(|s| (&s.nodes, s.cost)),
+                    "k={k} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_hop_is_memoized_correctly() {
+        let m = DenseMetric::from_fn(5, |i, j| Cost::new((i * 5 + j) as f64 + 1.0));
+        let mut expect = Cost::INFINITY;
+        for i in 0..5 {
+            for j in 0..5 {
+                if i != j {
+                    expect = expect.min(m.cost(i, j));
+                }
+            }
+        }
+        assert_eq!(m.min_hop(), expect);
     }
 }

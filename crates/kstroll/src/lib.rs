@@ -11,7 +11,9 @@
 //! (min-excess paths over dense junction trees) is impractical to reproduce,
 //! and here `k = |C|+1 ≤ 8`, so this crate instead offers (see DESIGN.md §5):
 //!
-//! * [`exact_stroll`] — branch-and-bound enumeration, exact for small `k`,
+//! * [`exact_stroll`] — branch-and-bound enumeration, exact for small `k`
+//!   ([`exact_all_targets`] amortizes one sorted-row workspace over every
+//!   target of a source — the hot path of SOFDA's Procedure 3),
 //! * [`color_coding_stroll`] — randomized color-coding DP, near-exact with
 //!   high probability, solving **all targets per source at once**,
 //! * [`greedy_stroll`] — deterministic cheapest-insertion + local search.
@@ -41,7 +43,7 @@ mod metric;
 mod stroll;
 
 pub use color::{color_coding_all_targets, color_coding_stroll, default_trials, ColorCodingResult};
-pub use exact::{estimated_work, exact_stroll, AUTO_EXACT_WORK_LIMIT};
+pub use exact::{estimated_work, exact_all_targets, exact_stroll, AUTO_EXACT_WORK_LIMIT};
 pub use greedy::greedy_stroll;
 pub use metric::DenseMetric;
 pub use stroll::Stroll;
@@ -123,7 +125,10 @@ impl StrollSolver {
                 }
                 res
             }
-            StrollSolver::Exact | StrollSolver::Greedy => (0..n)
+            // One shared workspace (sorted candidate rows + DFS buffers)
+            // serves every target; bit-identical to per-target solves.
+            StrollSolver::Exact => exact_all_targets(metric, source, k),
+            StrollSolver::Greedy => (0..n)
                 .map(|t| {
                     if t == source {
                         return (k == 1).then(|| Stroll::from_nodes(metric, vec![source]));
@@ -133,7 +138,7 @@ impl StrollSolver {
                 .collect(),
             StrollSolver::Auto => {
                 if estimated_work(n, k) <= AUTO_EXACT_WORK_LIMIT {
-                    return StrollSolver::Exact.solve_all_targets(metric, source, k, rng);
+                    return exact_all_targets(metric, source, k);
                 }
                 let cc = color_coding_all_targets(metric, source, k, Self::AUTO_CC_TRIALS, rng);
                 (0..n)

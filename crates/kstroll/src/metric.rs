@@ -22,6 +22,10 @@ use sof_graph::Cost;
 pub struct DenseMetric {
     n: usize,
     d: Vec<Cost>,
+    /// Cheapest off-diagonal hop, computed once at construction. The exact
+    /// k-stroll search uses it as an admissible lower bound on every
+    /// remaining hop; memoizing it here saves an O(n²) rescan per call.
+    min_hop: Cost,
 }
 
 impl DenseMetric {
@@ -38,7 +42,7 @@ impl DenseMetric {
                 }
             }
         }
-        DenseMetric { n, d }
+        DenseMetric::assemble(n, d)
     }
 
     /// Builds a symmetric metric from an upper-triangle function.
@@ -54,7 +58,26 @@ impl DenseMetric {
                 d[j * n + i] = c;
             }
         }
-        DenseMetric { n, d }
+        DenseMetric::assemble(n, d)
+    }
+
+    fn assemble(n: usize, d: Vec<Cost>) -> DenseMetric {
+        let mut min_hop = Cost::INFINITY;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    min_hop = min_hop.min(d[i * n + j]);
+                }
+            }
+        }
+        DenseMetric { n, d, min_hop }
+    }
+
+    /// The cheapest hop between two distinct nodes
+    /// ([`Cost::INFINITY`] for `n < 2`).
+    #[inline]
+    pub fn min_hop(&self) -> Cost {
+        self.min_hop
     }
 
     /// Number of nodes.

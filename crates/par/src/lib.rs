@@ -1,10 +1,19 @@
-//! # sof-par — deterministic scoped parallelism
+//! # sof-par — deterministic parallelism on a persistent worker pool
 //!
 //! A small `std::thread`-based worker pool for the embarrassingly parallel
 //! layers of the workspace: per-seed sweeps in `sof_bench`, independent
 //! `OnlineSession`s in `sof_core::SessionPool`, and the child relaxations of
-//! `sof_exact`'s branch-and-bound. (The vendored `crossbeam` is an mpsc
-//! shim, so this crate deliberately sticks to scoped `std` threads.)
+//! `sof_exact`'s branch-and-bound.
+//!
+//! Work runs on **long-lived, channel-fed workers** (the `pool` module): a
+//! `par_map` call enqueues one job, up to `threads − 1` pool workers join
+//! in, and the calling thread claims indices alongside them — so
+//! millisecond-scale calls (the exact solver forks 4–5 child relaxations
+//! per branch-and-bound expansion) no longer pay per-call thread spawn and
+//! join costs. Workers are spawned lazily up to the largest requested
+//! count and parked on a condvar between jobs. Set `SOF_PAR_POOL=0` to
+//! fall back to the previous spawn-scoped-threads-per-call behavior (the
+//! `path_engine` example benches one against the other).
 //!
 //! **Determinism guarantee:** every primitive here produces output that is
 //! a pure function of its input, *independent of the thread count*. Work is
@@ -41,8 +50,12 @@
 //! assert_eq!(doubled, sof_par::par_map_indexed(&items, 1, |i, &x| x * 2 + i as u64).unwrap());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `pool` module opts in for the one
+// documented lifetime-erasure its persistent workers require.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+mod pool;
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -130,6 +143,16 @@ thread_local! {
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Marks the current thread as pool context; returns the previous flag.
+pub(crate) fn enter_pool_scope() -> bool {
+    IN_POOL.with(|c| c.replace(true))
+}
+
+/// Restores the pool-context flag saved by [`enter_pool_scope`].
+pub(crate) fn exit_pool_scope(previous: bool) {
+    IN_POOL.with(|c| c.set(previous));
+}
+
 /// Installs a process-wide thread-count override (`0` = auto-detect). The
 /// bench binaries call this for `--threads`; it beats `SOF_THREADS`.
 pub fn set_threads(threads: usize) {
@@ -206,20 +229,23 @@ fn requested_workers(threads: usize) -> usize {
     }
 }
 
-/// Maps `f` over `items` on up to `threads` scoped workers (`0` = the
-/// configured default, [`current_threads`]: the `--threads` override, then
+/// Maps `f` over `items` on up to `threads` workers (`0` = the configured
+/// default, [`current_threads`]: the `--threads` override, then
 /// `SOF_THREADS`, then all cores), preserving input order: slot `i` of the
 /// result is `f(i, &items[i])`.
 ///
-/// Scheduling is work-stealing (an atomic next-index counter), but because
-/// every output slot is addressed by input index the result is identical
-/// for every thread count. Nested calls from inside a worker run serially.
+/// Work runs on the persistent pool — up to `threads − 1` long-lived
+/// workers join the calling thread, which always participates — so
+/// frequent small calls pay no thread spawn/join cost. Scheduling is
+/// work-stealing (an atomic next-index counter), but because every output
+/// slot is addressed by input index the result is identical for every
+/// thread count. Nested calls from inside a worker run serially.
 ///
 /// # Errors
 ///
-/// [`ParError::WorkerPanicked`] when any task panics. The pool is poisoned
-/// (remaining workers stop pulling work) and drained — never deadlocked —
-/// and all partial results are discarded.
+/// [`ParError::WorkerPanicked`] when any task panics. The job is poisoned
+/// (remaining participants stop pulling work, pool workers survive) and
+/// drained — never deadlocked — and all partial results are discarded.
 pub fn par_map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, ParError>
 where
     T: Sync,
@@ -230,9 +256,51 @@ where
     if workers <= 1 || IN_POOL.with(Cell::get) {
         return serial_map(items, &f);
     }
-    let next = AtomicUsize::new(0);
     let poison = Poison::new();
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    if pool::enabled() {
+        let run_one = |i: usize| -> bool {
+            match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                Ok(r) => {
+                    collected
+                        .lock()
+                        .expect("no panic holds the lock")
+                        .push((i, r));
+                    true
+                }
+                Err(payload) => {
+                    poison.record(i, payload);
+                    false
+                }
+            }
+        };
+        pool::run(items.len(), workers - 1, &run_one);
+    } else {
+        scoped_map(items, workers, &f, &poison, &collected);
+    }
+    if let Some(err) = poison.into_error() {
+        return Err(err);
+    }
+    let mut pairs = collected.into_inner().expect("participants drained");
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    Ok(pairs.into_iter().map(|(_, r)| r).collect())
+}
+
+/// The pre-pool implementation: scoped threads spawned per call. Kept
+/// behind `SOF_PAR_POOL=0` as a debugging fallback and as the baseline leg
+/// of the spawn-vs-pool microbench.
+fn scoped_map<T, R, F>(
+    items: &[T],
+    workers: usize,
+    f: &F,
+    poison: &Poison,
+    collected: &Mutex<Vec<(usize, R)>>,
+) where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -256,19 +324,13 @@ where
             });
         }
     });
-    if let Some(err) = poison.into_error() {
-        return Err(err);
-    }
-    let mut pairs = collected.into_inner().expect("workers joined");
-    pairs.sort_unstable_by_key(|&(i, _)| i);
-    Ok(pairs.into_iter().map(|(_, r)| r).collect())
 }
 
 /// Like [`par_map_indexed`] but with mutable access: each item is visited
 /// exactly once as `f(i, &mut items[i])`, on up to `threads` workers
-/// (`0` = the configured default, [`current_threads`]) over contiguous
-/// chunks. Items are independent, so results are identical for every
-/// thread count.
+/// (`0` = the configured default, [`current_threads`]). Each index is
+/// claimed exactly once off the shared counter, so accesses are disjoint
+/// and results are identical for every thread count.
 ///
 /// # Errors
 ///
@@ -286,44 +348,61 @@ where
     if workers <= 1 || IN_POOL.with(Cell::get) {
         return serial_map_mut(items, &f);
     }
-    let chunk = len.div_ceil(workers);
     let poison = Poison::new();
-    let chunk_results: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks_mut(chunk)
-            .enumerate()
-            .map(|(ci, chunk_items)| {
-                let poison = &poison;
-                let f = &f;
-                scope.spawn(move || {
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+    let base = pool::SliceMutPtr(items.as_mut_ptr());
+    let run_one = |i: usize| -> bool {
+        // SAFETY: `i` comes off the job's claim counter exactly once, so
+        // no other participant touches `items[i]`, and the `&mut items`
+        // borrow outlives the job (we only return once it is drained).
+        #[allow(unsafe_code)]
+        let item = unsafe { base.get_mut(i) };
+        match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+            Ok(r) => {
+                collected
+                    .lock()
+                    .expect("no panic holds the lock")
+                    .push((i, r));
+                true
+            }
+            Err(payload) => {
+                poison.record(i, payload);
+                false
+            }
+        }
+    };
+    if pool::enabled() {
+        pool::run(len, workers - 1, &run_one);
+    } else {
+        // Fallback without persistent workers: same claim protocol on
+        // scoped threads.
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
                     IN_POOL.with(|c| c.set(true));
-                    let base = ci * chunk;
-                    let mut local = Vec::with_capacity(chunk_items.len());
-                    for (j, item) in chunk_items.iter_mut().enumerate() {
+                    loop {
                         if poison.is_set() {
                             break;
                         }
-                        match catch_unwind(AssertUnwindSafe(|| f(base + j, item))) {
-                            Ok(r) => local.push(r),
-                            Err(payload) => {
-                                poison.record(base + j, payload);
-                                break;
-                            }
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= len {
+                            break;
+                        }
+                        if !run_one(i) {
+                            break;
                         }
                     }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker caught its own panics"))
-            .collect()
-    });
+                });
+            }
+        });
+    }
     if let Some(err) = poison.into_error() {
         return Err(err);
     }
-    Ok(chunk_results.into_iter().flatten().collect())
+    let mut pairs = collected.into_inner().expect("participants drained");
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    Ok(pairs.into_iter().map(|(_, r)| r).collect())
 }
 
 /// In-place serial fallback with the same poisoned-worker contract.
@@ -470,6 +549,49 @@ mod tests {
             .collect();
         assert_eq!(got, expect);
         assert_eq!(spawned.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn many_small_calls_reuse_persistent_workers() {
+        // The exact solver's usage profile: thousands of tiny calls. Each
+        // must produce ordered results; the pool's long-lived workers (not
+        // fresh spawns) serve them.
+        let items: Vec<u64> = (0..5).collect();
+        for round in 0..500u64 {
+            let got = par_map_indexed(&items, 4, |i, &x| x * 31 + i as u64 + round).unwrap();
+            let expect: Vec<u64> = items
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| x * 31 + i as u64 + round)
+                .collect();
+            assert_eq!(got, expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn concurrent_top_level_calls_share_the_pool() {
+        // Several caller threads enqueue jobs at once; every job drains
+        // with its own ordered results and its own poisoning.
+        std::thread::scope(|scope| {
+            for caller in 0..4u64 {
+                scope.spawn(move || {
+                    let items: Vec<u64> = (0..97).collect();
+                    for _ in 0..20 {
+                        let got = par_map_indexed(&items, 3, |i, &x| x + caller * 1000 + i as u64)
+                            .unwrap();
+                        assert_eq!(got[96], 96 + caller * 1000 + 96);
+                    }
+                    let err = par_map_indexed(&items, 3, |i, &x| {
+                        if i == 42 {
+                            panic!("caller {caller}");
+                        }
+                        x
+                    })
+                    .unwrap_err();
+                    assert!(matches!(err, ParError::WorkerPanicked { .. }));
+                });
+            }
+        });
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! it can produce slightly different (occasionally better) trees.
 
 use crate::tree::{check_terminals, mst_and_prune, SteinerError, SteinerTree};
-use sof_graph::{Cost, EdgeId, Graph, MetricClosure, NodeId, UnionFind};
+use sof_graph::{Cost, EdgeId, Graph, MetricClosure, NodeId, PathEngine, UnionFind};
 
 /// Computes a Steiner tree spanning `terminals` with the KMB algorithm.
 ///
@@ -30,6 +30,27 @@ use sof_graph::{Cost, EdgeId, Graph, MetricClosure, NodeId, UnionFind};
 pub fn kmb(graph: &Graph, terminals: &[NodeId]) -> Result<SteinerTree, SteinerError> {
     check_terminals(graph, terminals)?;
     let mc = MetricClosure::new(graph, terminals.to_vec());
+    kmb_over(graph, mc)
+}
+
+/// [`kmb`] with its metric closure served by a [`PathEngine`]: terminal
+/// trees already cached for the graph's current cost epoch are reused
+/// instead of re-running `k` Dijkstras per call. Bit-identical to [`kmb`].
+///
+/// # Errors
+///
+/// Same contract as [`kmb`].
+pub fn kmb_with_engine(
+    graph: &Graph,
+    terminals: &[NodeId],
+    engine: &PathEngine,
+) -> Result<SteinerTree, SteinerError> {
+    check_terminals(graph, terminals)?;
+    let mc = MetricClosure::with_engine(graph, terminals.to_vec(), engine);
+    kmb_over(graph, mc)
+}
+
+fn kmb_over(graph: &Graph, mc: MetricClosure) -> Result<SteinerTree, SteinerError> {
     let ts = mc.terminals();
     if ts.len() <= 1 {
         return Ok(SteinerTree::default());
@@ -108,5 +129,29 @@ mod tests {
     fn empty_terminals_ok() {
         let g = Graph::with_nodes(2);
         assert!(kmb(&g, &[]).unwrap().edges.is_empty());
+    }
+
+    #[test]
+    fn engine_backed_kmb_is_bit_identical() {
+        use sof_graph::{generators, CostRange, Rng64};
+        let engine = PathEngine::new();
+        for seed in 0..5u64 {
+            let mut rng = Rng64::seed_from(seed);
+            let g = generators::gnp_connected(35, 0.12, CostRange::new(1.0, 8.0), &mut rng);
+            let ts: Vec<NodeId> = rng
+                .sample_indices(35, 6)
+                .into_iter()
+                .map(NodeId::new)
+                .collect();
+            let plain = kmb(&g, &ts).unwrap();
+            let cached = kmb_with_engine(&g, &ts, &engine).unwrap();
+            assert_eq!(plain.edges, cached.edges, "seed {seed}");
+            assert_eq!(plain.cost, cached.cost, "seed {seed}");
+            // Second call over the same graph is served from the cache.
+            let misses = engine.stats().misses;
+            let again = kmb_with_engine(&g, &ts, &engine).unwrap();
+            assert_eq!(again.cost, plain.cost);
+            assert_eq!(engine.stats().misses, misses);
+        }
     }
 }

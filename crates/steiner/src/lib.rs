@@ -37,12 +37,12 @@ mod takahashi;
 mod tree;
 
 pub use dreyfus_wagner::{dreyfus_wagner, MAX_DW_TERMINALS};
-pub use kmb::kmb;
-pub use mehlhorn::mehlhorn;
+pub use kmb::{kmb, kmb_with_engine};
+pub use mehlhorn::{mehlhorn, mehlhorn_with_engine};
 pub use takahashi::takahashi_matsuyama;
 pub use tree::{SteinerError, SteinerTree};
 
-use sof_graph::{Graph, NodeId};
+use sof_graph::{Graph, NodeId, PathEngine};
 
 /// Uniform front-end over the Steiner solvers.
 ///
@@ -75,9 +75,35 @@ impl SteinerSolver {
     ///
     /// Propagates [`SteinerError`] from the underlying solver.
     pub fn solve(self, graph: &Graph, terminals: &[NodeId]) -> Result<SteinerTree, SteinerError> {
+        self.solve_with(graph, terminals, None)
+    }
+
+    /// [`SteinerSolver::solve`] with shortest-path queries optionally served
+    /// by a shared [`PathEngine`] (bit-identical results; the exact
+    /// Dreyfus–Wagner path ignores the engine). Pass the engine of the
+    /// graph's standing network when solving on it repeatedly; pass `None`
+    /// for throwaway graphs (e.g. per-solve auxiliary graphs), whose
+    /// entries could never be reused.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SteinerError`] from the underlying solver.
+    pub fn solve_with(
+        self,
+        graph: &Graph,
+        terminals: &[NodeId],
+        engine: Option<&PathEngine>,
+    ) -> Result<SteinerTree, SteinerError> {
+        let mehlhorn_of = |ts: &[NodeId]| match engine {
+            Some(e) => mehlhorn_with_engine(graph, ts, e),
+            None => mehlhorn(graph, ts),
+        };
         match self {
-            SteinerSolver::Mehlhorn => mehlhorn(graph, terminals),
-            SteinerSolver::Kmb => kmb(graph, terminals),
+            SteinerSolver::Mehlhorn => mehlhorn_of(terminals),
+            SteinerSolver::Kmb => match engine {
+                Some(e) => kmb_with_engine(graph, terminals, e),
+                None => kmb(graph, terminals),
+            },
             SteinerSolver::TakahashiMatsuyama => takahashi_matsuyama(graph, terminals),
             SteinerSolver::DreyfusWagner => dreyfus_wagner(graph, terminals),
             SteinerSolver::Auto => {
@@ -89,7 +115,7 @@ impl SteinerSolver {
                 {
                     return dreyfus_wagner(graph, &distinct);
                 }
-                let a = mehlhorn(graph, &distinct)?;
+                let a = mehlhorn_of(&distinct)?;
                 let b = takahashi_matsuyama(graph, &distinct)?;
                 Ok(if a.cost <= b.cost { a } else { b })
             }

@@ -7,7 +7,7 @@
 //! on the large topologies. Approximation factor 2·(1 − 1/ℓ) ≤ 2.
 
 use crate::tree::{check_terminals, mst_and_prune, SteinerError, SteinerTree};
-use sof_graph::{Cost, EdgeId, Graph, NodeId, ShortestPaths, UnionFind};
+use sof_graph::{Cost, EdgeId, Graph, NodeId, PathEngine, ShortestPaths, UnionFind};
 use std::collections::HashMap;
 
 /// Computes a Steiner tree spanning `terminals` with Mehlhorn's algorithm.
@@ -32,6 +32,29 @@ use std::collections::HashMap;
 /// # Ok::<(), sof_steiner::SteinerError>(())
 /// ```
 pub fn mehlhorn(graph: &Graph, terminals: &[NodeId]) -> Result<SteinerTree, SteinerError> {
+    mehlhorn_impl(graph, terminals, None)
+}
+
+/// [`mehlhorn`] with its single multi-source Dijkstra served by a
+/// [`PathEngine`]: repeated solves over the same terminal set and cost
+/// epoch reuse the cached Voronoi tree. Bit-identical to [`mehlhorn`].
+///
+/// # Errors
+///
+/// Same contract as [`mehlhorn`].
+pub fn mehlhorn_with_engine(
+    graph: &Graph,
+    terminals: &[NodeId],
+    engine: &PathEngine,
+) -> Result<SteinerTree, SteinerError> {
+    mehlhorn_impl(graph, terminals, Some(engine))
+}
+
+fn mehlhorn_impl(
+    graph: &Graph,
+    terminals: &[NodeId],
+    engine: Option<&PathEngine>,
+) -> Result<SteinerTree, SteinerError> {
     check_terminals(graph, terminals)?;
     let mut distinct: Vec<NodeId> = terminals.to_vec();
     distinct.sort();
@@ -39,7 +62,18 @@ pub fn mehlhorn(graph: &Graph, terminals: &[NodeId]) -> Result<SteinerTree, Stei
     if distinct.len() <= 1 {
         return Ok(SteinerTree::default());
     }
-    let sp = ShortestPaths::from_sources(graph, distinct.iter().copied());
+    let cached;
+    let owned;
+    let sp: &ShortestPaths = match engine {
+        Some(engine) => {
+            cached = engine.from_sources(graph, &distinct);
+            &cached
+        }
+        None => {
+            owned = ShortestPaths::from_sources(graph, distinct.iter().copied());
+            &owned
+        }
+    };
     for &t in &distinct {
         // All terminals are sources, so unreachability shows up when some
         // terminal's component has no other terminal; checked below via MST.

@@ -5,9 +5,16 @@
 //! 2-approximation; often the strongest of the three classical heuristics
 //! in practice. Its incremental structure is what the distributed
 //! implementation in `sof-sdn` mirrors (§VI of the paper).
+//!
+//! Each attachment needs a multi-source Dijkstra from the whole current
+//! tree. Instead of a fresh [`sof_graph::ShortestPaths::from_sources`]
+//! (three O(n) allocations per attached terminal), the loop re-seeds one
+//! warm [`DijkstraWorkspace`] with the grown tree's node set — an O(1)
+//! epoch bump — so the restart allocates nothing beyond the returned paths
+//! and stays bit-identical to the from-scratch run.
 
 use crate::tree::{check_terminals, prune_non_terminal_leaves, SteinerError, SteinerTree};
-use sof_graph::{EdgeId, Graph, NodeId, ShortestPaths};
+use sof_graph::{DijkstraWorkspace, EdgeId, Graph, NodeId};
 use std::collections::BTreeSet;
 
 /// Computes a Steiner tree spanning `terminals` by iterative shortest-path
@@ -44,23 +51,26 @@ pub fn takahashi_matsuyama(
     remaining.remove(&first);
     let mut tree_nodes: BTreeSet<NodeId> = BTreeSet::from([first]);
     let mut edges: Vec<EdgeId> = Vec::new();
+    let mut ws = DijkstraWorkspace::new();
     while !remaining.is_empty() {
-        // Multi-source Dijkstra from the whole current tree.
-        let sp = ShortestPaths::from_sources(graph, tree_nodes.iter().copied());
+        // Multi-source Dijkstra from the whole current tree: an incremental
+        // restart of the warm workspace, re-seeded with the grown tree.
+        ws.run(graph, tree_nodes.iter().copied());
         let next = remaining
             .iter()
             .copied()
-            .min_by_key(|&t| (sp.dist(t), t))
+            .min_by_key(|&t| (ws.dist(t), t))
             .expect("non-empty remaining");
-        if !sp.dist(next).is_finite() {
+        if !ws.dist(next).is_finite() {
             return Err(SteinerError::Unreachable { terminal: next });
         }
-        let path = sp.path_to(next).expect("finite distance implies a path");
-        let path_edges = sp.edges_to(next).expect("finite distance implies a path");
+        let path = ws.path_to(next).expect("finite distance implies a path");
+        let path_edges = ws.edges_to(next).expect("finite distance implies a path");
         edges.extend(path_edges);
         tree_nodes.extend(path);
         remaining.remove(&next);
     }
+    debug_assert!(ws.grows() <= 1, "warm restarts must not reallocate");
     let distinct: Vec<NodeId> = terminals.to_vec();
     let kept = prune_non_terminal_leaves(graph, edges, &distinct);
     Ok(SteinerTree::from_edges(graph, kept))
@@ -102,5 +112,47 @@ mod tests {
         let g = Graph::with_nodes(3);
         let err = takahashi_matsuyama(&g, &[NodeId::new(0), NodeId::new(1)]).unwrap_err();
         assert!(matches!(err, SteinerError::Unreachable { .. }));
+    }
+
+    /// The greedy loop with a fresh `from_sources` per attachment — the
+    /// pre-workspace implementation, kept as a reference oracle.
+    fn reference(graph: &Graph, terminals: &[NodeId]) -> SteinerTree {
+        use sof_graph::ShortestPaths;
+        let mut remaining: BTreeSet<NodeId> = terminals.iter().copied().collect();
+        let first = *remaining.iter().next().unwrap();
+        remaining.remove(&first);
+        let mut tree_nodes: BTreeSet<NodeId> = BTreeSet::from([first]);
+        let mut edges: Vec<EdgeId> = Vec::new();
+        while !remaining.is_empty() {
+            let sp = ShortestPaths::from_sources(graph, tree_nodes.iter().copied());
+            let next = remaining
+                .iter()
+                .copied()
+                .min_by_key(|&t| (sp.dist(t), t))
+                .unwrap();
+            edges.extend(sp.edges_to(next).unwrap());
+            tree_nodes.extend(sp.path_to(next).unwrap());
+            remaining.remove(&next);
+        }
+        let kept = prune_non_terminal_leaves(graph, edges, terminals);
+        SteinerTree::from_edges(graph, kept)
+    }
+
+    #[test]
+    fn warm_restart_matches_fresh_runs_bit_for_bit() {
+        use sof_graph::{generators, CostRange, Rng64};
+        for seed in 0..8u64 {
+            let mut rng = Rng64::seed_from(seed);
+            let g = generators::gnp_connected(50, 0.1, CostRange::new(1.0, 9.0), &mut rng);
+            let ts: Vec<NodeId> = rng
+                .sample_indices(50, 7)
+                .into_iter()
+                .map(NodeId::new)
+                .collect();
+            let warm = takahashi_matsuyama(&g, &ts).unwrap();
+            let fresh = reference(&g, &ts);
+            assert_eq!(warm.edges, fresh.edges, "seed {seed}");
+            assert_eq!(warm.cost, fresh.cost, "seed {seed}");
+        }
     }
 }

@@ -21,6 +21,7 @@ Usage:
   sof run <preset|spec.toml|spec.json> [options]
   sof list
   sof validate <preset|file>... | --all
+  sof bench-snapshot [--out FILE] [--reps N] [--threads N]
   sof help
 
 Run options:
@@ -35,7 +36,11 @@ Run options:
   --timings                  include wall-clock measurements in the JSONL output
 
 Presets are bundled spec files (see `sof list`); anything containing a
-path separator or ending in .toml/.json is read from disk.";
+path separator or ending in .toml/.json is read from disk.
+
+`sof bench-snapshot` runs a fixed miniature preset set and writes a JSON
+wall-clock snapshot (the `BENCH_*.json` perf trajectory; CI uploads one
+per run and diffs it against the committed snapshot).";
 
 fn fatal(msg: impl std::fmt::Display) -> ! {
     eprintln!("error: {msg}");
@@ -63,6 +68,24 @@ fn load_spec(target: &str) -> ScenarioSpec {
     }
 }
 
+/// Applies one `--flag value` pair onto `Overrides`; `false` means the
+/// flag is not an override flag. Shared by `sof run` and
+/// `sof bench-snapshot` so the two can never drift apart.
+fn override_flag(overrides: &mut Overrides, flag: &str, val: &str) -> bool {
+    match flag {
+        "--seeds" => overrides.seeds = Some(parse_num(val, flag)),
+        "--seed" => overrides.seed = Some(parse_num(val, flag)),
+        "--limit" => overrides.limit = Some(parse_num(val, flag) as usize),
+        "--solvers" => {
+            overrides.solvers = Some(val.split(',').map(|s| s.trim().to_string()).collect())
+        }
+        "--nodes" => overrides.nodes = Some(parse_num(val, flag) as usize),
+        "--requests" => overrides.requests = Some(parse_num(val, flag) as usize),
+        _ => return false,
+    }
+    true
+}
+
 fn cmd_run(args: Vec<String>) {
     let mut format = "jsonl".to_string();
     let mut overrides = Overrides::default();
@@ -77,20 +100,9 @@ fn cmd_run(args: Vec<String>) {
         };
         match arg.as_str() {
             "--format" => format = value("--format"),
-            "--seeds" => overrides.seeds = Some(parse_num(&value("--seeds"), "--seeds")),
-            "--seed" => overrides.seed = Some(parse_num(&value("--seed"), "--seed")),
-            "--limit" => overrides.limit = Some(parse_num(&value("--limit"), "--limit") as usize),
-            "--solvers" => {
-                overrides.solvers = Some(
-                    value("--solvers")
-                        .split(',')
-                        .map(|s| s.trim().to_string())
-                        .collect(),
-                )
-            }
-            "--nodes" => overrides.nodes = Some(parse_num(&value("--nodes"), "--nodes") as usize),
-            "--requests" => {
-                overrides.requests = Some(parse_num(&value("--requests"), "--requests") as usize)
+            "--seeds" | "--seed" | "--limit" | "--solvers" | "--nodes" | "--requests" => {
+                let v = value(&arg);
+                override_flag(&mut overrides, &arg, &v);
             }
             "--threads" => threads = Some(parse_num(&value("--threads"), "--threads") as usize),
             "--timings" => timings = true,
@@ -154,6 +166,108 @@ fn cmd_run(args: Vec<String>) {
 fn parse_num(v: &str, flag: &str) -> u64 {
     v.parse()
         .unwrap_or_else(|_| fatal(format!("invalid value '{v}' for flag '{flag}'")))
+}
+
+/// The fixed preset set of the perf trajectory (`BENCH_*.json`): one
+/// online workload (engine + incremental path), comparison sweeps at
+/// miniature scale (engine across solvers), the exact solver (relaxation
+/// memo + pool), and a large-topology point. Entries mirror the CI golden
+/// invocations, so every timed run is also output-pinned.
+const BENCH_PRESETS: &[(&str, &str, &str)] = &[
+    ("fig12-online-r8", "fig12", "--requests 8"),
+    ("fig9-sweep", "fig9", "--seeds 1 --limit 1"),
+    (
+        "fig8-sweep",
+        "fig8",
+        "--seeds 2 --limit 2 --solvers SOFDA,eNEMP,eST,ST",
+    ),
+    ("table1-exact", "table1", "--limit 1"),
+    ("fig10-inet300", "fig10", "--seeds 1 --limit 1 --nodes 300"),
+    ("table2-exact", "table2", "--seeds 2"),
+];
+
+fn cmd_bench_snapshot(args: Vec<String>) {
+    let mut out: Option<String> = None;
+    let mut reps = 3usize;
+    let mut threads: Option<usize> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fatal(format!("flag '{flag}' is missing its value")))
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value("--out")),
+            "--reps" => reps = parse_num(&value("--reps"), "--reps") as usize,
+            "--threads" => threads = Some(parse_num(&value("--threads"), "--threads") as usize),
+            other => fatal(format!("unknown flag '{other}' for bench-snapshot")),
+        }
+    }
+    if reps == 0 {
+        fatal("--reps must be at least 1");
+    }
+    if let Some(t) = threads {
+        sof_par::set_threads(t);
+    }
+    let opts = RunOptions {
+        threads: 0,
+        timings: true,
+        legacy_notes: false,
+    };
+    let mut entries = String::new();
+    for (i, &(name, preset, flags)) in BENCH_PRESETS.iter().enumerate() {
+        let mut spec = load_spec(preset);
+        let mut overrides = Overrides::default();
+        let mut flag_it = flags.split_whitespace();
+        while let Some(flag) = flag_it.next() {
+            let val = flag_it.next().unwrap_or_default();
+            if !override_flag(&mut overrides, flag, val) {
+                fatal(format!("internal bench preset uses unknown flag '{flag}'"));
+            }
+        }
+        apply_overrides(&mut spec, &overrides);
+        if let Err(e) = spec.validate() {
+            fatal(format!("bench preset {name}: {e}"));
+        }
+        let mut wall_ms = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let start = std::time::Instant::now();
+            if let Err(e) = run_spec(&spec, &opts) {
+                fatal(format!("bench preset {name}: {e}"));
+            }
+            wall_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        eprintln!(
+            "{name:<16} {}",
+            wall_ms
+                .iter()
+                .map(|ms| format!("{ms:.0} ms"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        let values = wall_ms
+            .iter()
+            .map(|ms| format!("{ms:.1}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let sep = if i + 1 < BENCH_PRESETS.len() { "," } else { "" };
+        entries.push_str(&format!(
+            "    {{\"name\":\"{name}\",\"preset\":\"{preset}\",\"args\":\"{flags}\",\"wall_ms\":[{values}]}}{sep}\n"
+        ));
+    }
+    let threads_used = sof_par::current_threads();
+    let json = format!(
+        "{{\n  \"kind\": \"sof-bench-snapshot\",\n  \"threads\": {threads_used},\n  \"reps\": {reps},\n  \"entries\": [\n{entries}  ]\n}}\n"
+    );
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                fatal(format!("writing {path}: {e}"));
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
 }
 
 fn cmd_list() {
@@ -234,6 +348,7 @@ fn main() {
         "run" => cmd_run(args),
         "list" => cmd_list(),
         "validate" => cmd_validate(args),
+        "bench-snapshot" => cmd_bench_snapshot(args),
         "help" | "--help" | "-h" => println!("{USAGE}"),
         other => fatal(format!("unknown command '{other}' (try `sof help`)")),
     }

@@ -1,0 +1,237 @@
+//! PathEngine equivalence suite: the memoized shortest-path engine, the
+//! shared exact-stroll workspace, the relaxation memo and the persistent
+//! `sof_par` pool are pure performance layers — solver outputs must stay
+//! **bit-identical** to the pre-engine path. The committed golden RunReport
+//! JSONL files were generated before any of these layers existed, so
+//! regenerating the miniature presets and comparing byte-for-byte — under
+//! multiple thread counts — pins exactly that.
+
+use sof::core::{
+    solve_sofda, Network, OnlineConfig, OnlineSession, Request, ServiceChain, SofInstance, Sofda,
+    SofdaConfig,
+};
+use sof::graph::{generators, Cost, CostRange, NodeId, Rng64, ShortestPaths};
+use sof::spec::shim::{apply_overrides, Overrides};
+use sof::spec::{presets, run_spec, write_jsonl, RunOptions};
+
+fn golden(name: &str) -> String {
+    std::fs::read_to_string(format!("crates/spec/specs/golden/{name}.jsonl"))
+        .expect("committed golden file")
+}
+
+fn run_preset(name: &str, overrides: &Overrides, threads: usize) -> String {
+    let mut spec = presets::preset(name).expect("bundled preset").unwrap();
+    apply_overrides(&mut spec, overrides);
+    spec.validate().unwrap();
+    let report = run_spec(
+        &spec,
+        &RunOptions {
+            threads,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    write_jsonl(&report, false)
+}
+
+/// The engine-backed comparison sweep (fig8: SOFDA + baselines sharing one
+/// network's cache) reproduces the pre-engine golden bytes for both a
+/// serial and a pooled thread count.
+#[test]
+fn fig8_sweep_matches_pre_engine_golden_across_thread_counts() {
+    let overrides = Overrides {
+        seeds: Some(1),
+        limit: Some(2),
+        solvers: Some(
+            ["SOFDA", "eNEMP", "eST", "ST"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        ),
+        ..Overrides::default()
+    };
+    let expect = golden("fig8");
+    for threads in [1usize, 4] {
+        assert_eq!(
+            run_preset("fig8", &overrides, threads),
+            expect,
+            "threads={threads}"
+        );
+    }
+}
+
+/// The warm-engine online path (fig12: standing sessions joining/leaving
+/// on cached trees, congestion epochs invalidating between arrivals)
+/// reproduces the pre-engine golden bytes for both thread counts.
+#[test]
+fn fig12_online_matches_pre_engine_golden_across_thread_counts() {
+    let overrides = Overrides {
+        requests: Some(4),
+        ..Overrides::default()
+    };
+    let expect = golden("fig12");
+    for threads in [1usize, 4] {
+        assert_eq!(
+            run_preset("fig12", &overrides, threads),
+            expect,
+            "threads={threads}"
+        );
+    }
+}
+
+/// The exact-solver preset (relaxation memo + pooled child relaxations)
+/// reproduces its golden bytes for both thread counts.
+#[test]
+fn table2_exact_matches_pre_engine_golden_across_thread_counts() {
+    let overrides = Overrides {
+        seeds: Some(2),
+        ..Overrides::default()
+    };
+    let expect = golden("table2");
+    for threads in [1usize, 4] {
+        assert_eq!(
+            run_preset("table2", &overrides, threads),
+            expect,
+            "threads={threads}"
+        );
+    }
+}
+
+fn random_instance(seed: u64) -> SofInstance {
+    let mut rng = Rng64::seed_from(seed);
+    let g = generators::gnp_connected(28, 0.16, CostRange::new(1.0, 7.0), &mut rng);
+    let mut net = Network::all_switches(g);
+    let picks = rng.sample_indices(28, 12);
+    for &v in &picks[..6] {
+        net.make_vm(NodeId::new(v), Cost::new(rng.range_f64(0.5, 3.0)));
+    }
+    SofInstance::new(
+        net,
+        Request::new(
+            vec![NodeId::new(picks[6]), NodeId::new(picks[7])],
+            picks[8..12].iter().map(|&i| NodeId::new(i)).collect(),
+            ServiceChain::with_len(2),
+        ),
+    )
+    .unwrap()
+}
+
+/// A warm engine (trees cached by a previous solve) and a cold engine
+/// produce structurally equal forests with bit-equal costs — cache reuse
+/// can never leak into results.
+#[test]
+fn warm_and_cold_engines_agree_on_solves() {
+    for seed in 0..6 {
+        let warm_inst = random_instance(seed);
+        // Warm up: solve once, discard, solve again on the now-warm cache.
+        let first = solve_sofda(&warm_inst, &SofdaConfig::default()).unwrap();
+        let warm = solve_sofda(&warm_inst, &SofdaConfig::default()).unwrap();
+        assert!(
+            warm_inst.network.paths().stats().hits > 0,
+            "second solve must reuse cached trees"
+        );
+        // Cold: a freshly rebuilt, never-solved instance.
+        let cold_inst = random_instance(seed);
+        let cold = solve_sofda(&cold_inst, &SofdaConfig::default()).unwrap();
+        assert_eq!(first.cost, warm.cost, "seed {seed}");
+        assert_eq!(warm.cost, cold.cost, "seed {seed}");
+        assert_eq!(warm.forest, cold.forest, "seed {seed}");
+    }
+}
+
+/// An `OnlineSession` keeps one engine warm across arrivals; its results
+/// must match a twin session rebuilt from scratch each arrival — and the
+/// congestion refresh between arrivals must bump the graph's cost epoch so
+/// no stale tree is ever served.
+#[test]
+fn online_session_warm_engine_is_invisible_in_results() {
+    let make = || {
+        OnlineSession::new(
+            random_instance(42),
+            Box::new(Sofda),
+            SofdaConfig::default(),
+            OnlineConfig::default(),
+        )
+    };
+    let mut a = make();
+    let mut b = make();
+    let base = a.instance().request.clone();
+    let mut grown = base.clone();
+    let extra = a
+        .instance()
+        .network
+        .graph()
+        .nodes()
+        .find(|n| !base.destinations.contains(n) && !base.sources.contains(n))
+        .unwrap();
+    grown.destinations.push(extra);
+    for req in [base.clone(), grown, base] {
+        let ra = a.arrive(req.clone()).unwrap();
+        let rb = b.arrive(req).unwrap();
+        assert_eq!(ra.forest_cost.to_bits(), rb.forest_cost.to_bits());
+        assert_eq!(ra.accumulated_cost.to_bits(), rb.accumulated_cost.to_bits());
+        assert_eq!(ra.rebuilt, rb.rebuilt);
+    }
+    assert_eq!(a.forest(), b.forest());
+}
+
+/// Epoch invalidation end to end: mutate one edge cost through the network
+/// and the engine must refuse the stale tree.
+#[test]
+fn cost_mutation_invalidates_network_cache() {
+    let inst = random_instance(7);
+    let g = inst.network.graph();
+    let src = inst.request.sources[0];
+    let before = inst.network.paths().from_source(g, src);
+    let mut inst2 = inst.clone();
+    let e = sof::graph::EdgeId::new(0);
+    let bumped = inst2.network.graph().edge_cost(e) * 10.0;
+    inst2.network.graph_mut().set_edge_cost(e, bumped);
+    let after = inst2
+        .network
+        .paths()
+        .from_source(inst2.network.graph(), src);
+    // The stale Arc still holds the old snapshot; the engine recomputed.
+    let stats = inst2.network.paths().stats();
+    assert!(
+        stats.misses >= 2,
+        "mutation must force a recompute: {stats:?}"
+    );
+    let reference = ShortestPaths::from_source(inst2.network.graph(), src);
+    for v in inst2.network.graph().nodes() {
+        assert_eq!(after.dist(v), reference.dist(v));
+    }
+    drop(before);
+}
+
+/// The pooled and the legacy scoped `par_map` paths cannot be toggled in
+/// one process (the pool flag is latched at first use), but the pooled
+/// path must match the serial path — which is the legacy path's own
+/// invariant — on real solver workloads.
+#[test]
+fn pooled_solves_match_serial_solves() {
+    let inst = random_instance(3);
+    let serial = sof::exact::solve_exact_with(&inst, 300, 1).unwrap();
+    let pooled = sof::exact::solve_exact_with(&inst, 300, 4).unwrap();
+    assert_eq!(serial.cost, pooled.cost);
+    assert_eq!(serial.nodes_explored, pooled.nodes_explored);
+    assert_eq!(serial.forest, pooled.forest);
+}
+
+/// PathEngine sharing semantics: clones of a network share one cache.
+#[test]
+fn network_clones_share_their_engine() {
+    let inst = random_instance(9);
+    let clone = inst.clone();
+    let src = inst.request.sources[0];
+    let a = inst.network.paths().from_source(inst.network.graph(), src);
+    let b = clone
+        .network
+        .paths()
+        .from_source(clone.network.graph(), src);
+    assert!(
+        std::sync::Arc::ptr_eq(&a, &b),
+        "clone must hit the shared cache"
+    );
+    assert_eq!(clone.network.paths().stats().hits, 1);
+}
