@@ -160,13 +160,16 @@ impl Network {
     }
 
     /// Updates the setup cost of VM `v` (used by the online cost model).
+    /// Writing the cost the VM already has is a no-op.
     ///
     /// # Panics
     ///
     /// Panics if `v` is a switch.
     pub fn set_node_cost(&mut self, v: NodeId, cost: Cost) {
         assert!(self.is_vm(v), "cannot assign a setup cost to switch {v}");
-        self.costs[v.index()] = cost;
+        if self.costs[v.index()] != cost {
+            self.costs[v.index()] = cost;
+        }
     }
 
     /// All VM nodes, in id order.

@@ -620,6 +620,29 @@ mod tests {
     }
 
     #[test]
+    fn zero_load_refresh_keeps_engine_trees_warm() {
+        let mut s = session(EmbedMode::Incremental);
+        let src = s.instance().request.sources[0];
+        let epoch = s.instance().network.graph().cost_epoch();
+        {
+            let net = &s.instance().network;
+            let _ = net.paths().from_source(net.graph(), src);
+        }
+        let before = s.instance().network.paths().stats();
+        // With no standing load every recomputed cost equals its base value;
+        // the equality guards must turn the refresh into a complete no-op so
+        // the epoch — and with it every cached engine tree — stays warm.
+        s.refresh_costs();
+        assert_eq!(s.instance().network.graph().cost_epoch(), epoch);
+        let net = &s.instance().network;
+        let _ = net.paths().from_source(net.graph(), src);
+        let after = net.paths().stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(after.stale, before.stale);
+    }
+
+    #[test]
     fn from_scratch_mode_always_rebuilds() {
         let mut s = session(EmbedMode::FromScratch);
         let base = s.instance().request.destinations.clone();

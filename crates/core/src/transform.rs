@@ -15,13 +15,15 @@
 
 use crate::Network;
 use sof_graph::{Cost, MetricClosure, NodeId};
-use sof_kstroll::{DenseMetric, Stroll, StrollSolver};
+use sof_kstroll::{AutoMetric, Stroll, StrollSolver};
 
 /// The transformed k-stroll instance for one source (all last VMs at once).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ChainMetric {
-    /// Generic metric with halved node-cost potentials.
-    metric: DenseMetric,
+    /// Generic metric with halved node-cost potentials; rows materialize on
+    /// first touch from the engine-backed closure instead of an eager O(n²)
+    /// fill.
+    metric: AutoMetric,
     /// Index → network node; index 0 is the source.
     nodes: Vec<NodeId>,
     /// Shortest-path closure over `nodes` for walk expansion.
@@ -58,14 +60,6 @@ impl ChainMetric {
         // source's ChainMetric within a solve — and across solves while the
         // network is unchanged — instead of re-running k Dijkstras here.
         let closure = MetricClosure::with_engine(network.graph(), nodes.clone(), network.paths());
-        // Pairwise distances must be finite.
-        for &a in &nodes {
-            for &b in &nodes {
-                if !closure.dist_between(a, b).is_finite() {
-                    return None;
-                }
-            }
-        }
         let setup: Vec<Cost> = nodes
             .iter()
             .enumerate()
@@ -83,9 +77,33 @@ impl ChainMetric {
             .enumerate()
             .map(|(i, &c)| if i == 0 { source_cost / 2.0 } else { c / 2.0 })
             .collect();
-        let metric = DenseMetric::from_fn(n, |i, j| {
-            closure.dist_between(nodes[i], nodes[j]) + pot[i] + pot[j]
-        });
+        // Pairwise distances must be finite. The same scan yields the exact
+        // cheapest off-diagonal hop — the strongest admissible pruning bound,
+        // identical to what a dense build memoizes — from O(1) closure
+        // lookups, so even when AutoMetric keeps the entries lazy the exact
+        // search prunes at full strength.
+        let mut min_hop = Cost::INFINITY;
+        for (i, &a) in nodes.iter().enumerate() {
+            for (j, &b) in nodes.iter().enumerate() {
+                let d = closure.dist_between(a, b);
+                if !d.is_finite() {
+                    return None;
+                }
+                if i != j {
+                    min_hop = min_hop.min(d + pot[i] + pot[j]);
+                }
+            }
+        }
+        let hop_bound = if n >= 2 { min_hop } else { Cost::ZERO };
+        let metric = {
+            let closure = closure.clone();
+            let nodes = nodes.clone();
+            let pot = pot.clone();
+            AutoMetric::from_fn(n, move |i, j| {
+                closure.dist_between(nodes[i], nodes[j]) + pot[i] + pot[j]
+            })
+            .with_hop_lower_bound(hop_bound)
+        };
         Some(ChainMetric {
             metric,
             nodes,
@@ -96,7 +114,7 @@ impl ChainMetric {
     }
 
     /// The generic metric (node potentials included).
-    pub fn metric(&self) -> &DenseMetric {
+    pub fn metric(&self) -> &AutoMetric {
         &self.metric
     }
 
@@ -215,6 +233,13 @@ impl ChainMetric {
 mod tests {
     use super::*;
     use sof_graph::{Graph, Rng64};
+    use sof_kstroll::{DenseMetric, Metric};
+
+    /// Materializes any metric so dense-only checks (triangle
+    /// inequality) can run against it.
+    fn densify<M: Metric>(m: &M) -> DenseMetric {
+        DenseMetric::from_fn(m.len(), |i, j| m.cost(i, j))
+    }
 
     /// Line 0-1-2-3 (unit links) with VMs 1 (cost 2), 2 (cost 4), 3 (cost 6).
     fn net() -> Network {
@@ -252,7 +277,7 @@ mod tests {
     fn metric_satisfies_triangle_inequality() {
         let net = net();
         let cm = ChainMetric::build(&net, NodeId::new(0), &vms(), Cost::ZERO).unwrap();
-        assert!(cm.metric().respects_triangle_inequality(1e-9));
+        assert!(densify(cm.metric()).respects_triangle_inequality(1e-9));
     }
 
     #[test]
@@ -266,7 +291,7 @@ mod tests {
         // Procedure-1 (Appendix D) edge sum agrees.
         let p1 = cm.procedure1_edge_cost(0, 1, 2) + cm.procedure1_edge_cost(1, 2, 2);
         assert!(true_cost.approx_eq(p1));
-        assert!(cm.metric().respects_triangle_inequality(1e-9));
+        assert!(densify(cm.metric()).respects_triangle_inequality(1e-9));
     }
 
     #[test]
@@ -295,6 +320,22 @@ mod tests {
             assert!(*cost >= stroll.cost);
             assert!(*t >= 1);
         }
+    }
+
+    #[test]
+    fn metric_picks_dense_storage_with_sharp_hop_bound() {
+        let net = net();
+        let cm = ChainMetric::build(&net, NodeId::new(0), &vms(), Cost::ZERO).unwrap();
+        // Tiny instance (source + 3 VMs): AutoMetric materializes eagerly;
+        // only past AUTO_DENSE_CUTOVER points does it stay lazy.
+        assert!(cm.metric().is_dense());
+        let dense = densify(cm.metric());
+        let bound = cm.metric().hop_lower_bound();
+        // Either representation prunes with the exact cheapest hop: the
+        // dense side memoizes it, the lazy side gets it from the
+        // finiteness scan.
+        assert!(bound > Cost::ZERO);
+        assert_eq!(bound, dense.min_hop());
     }
 
     #[test]

@@ -1,56 +1,12 @@
 //! Branch-and-bound closing the one-VNF-per-VM constraint (IP constraint
 //! (6)) over the exact relaxation of [`crate::directed_steiner`].
 
-use crate::dw::{directed_steiner, Arborescence, Restrictions};
+use crate::dw::{Arborescence, Restrictions, SteinerRelaxation};
 use crate::layered::LayeredGraph;
 use sof_core::{DestWalk, ServiceForest, SofInstance};
 use sof_graph::{Cost, NodeId};
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
-/// Memo of relaxation results keyed by the canonical restriction set.
-///
-/// Branch-and-bound paths frequently converge on identical restriction
-/// maps (restricting VM `a` then `b` meets `b` then `a`; the diving
-/// heuristic walks the same keep-smallest-layer restrictions the first
-/// child branches re-derive), and `directed_steiner` is a pure function of
-/// `(layered graph, restrictions)` — so each distinct restriction set is
-/// solved exactly once per `solve_exact` call. Shared across the forked
-/// child relaxations behind a mutex; hits return the identical
-/// `Arborescence`, so results stay bit-identical for any thread count.
-struct RelaxMemo(Mutex<HashMap<RestrictionKey, Option<Arborescence>>>);
-
-/// Canonical form of a [`Restrictions`] map: sorted `(vm, mask)` pairs.
-type RestrictionKey = Vec<(usize, u32)>;
-
-impl RelaxMemo {
-    fn new() -> RelaxMemo {
-        RelaxMemo(Mutex::new(HashMap::new()))
-    }
-
-    fn canon(r: &Restrictions) -> RestrictionKey {
-        let mut key: RestrictionKey = r.allowed.iter().map(|(&v, &m)| (v, m)).collect();
-        key.sort_unstable();
-        key
-    }
-
-    fn solve(&self, lg: &LayeredGraph, r: &Restrictions) -> Option<Arborescence> {
-        let key = RelaxMemo::canon(r);
-        if let Some(hit) = self.0.lock().expect("relax memo lock").get(&key) {
-            return hit.clone();
-        }
-        // Computed outside the lock: sibling branches with distinct
-        // restriction sets must relax in parallel, and a duplicate
-        // computation of the same key is deterministic anyway.
-        let result = directed_steiner(lg, r);
-        self.0
-            .lock()
-            .expect("relax memo lock")
-            .insert(key, result.clone());
-        result
-    }
-}
 
 /// Shared upper bound on the optimum: the incumbent's cost as `f64` bits
 /// (`f64::INFINITY` before any incumbent exists). Workers evaluating
@@ -163,7 +119,7 @@ pub fn solve_exact_with(
     threads: usize,
 ) -> Result<ExactOutcome, ExactError> {
     let lg = LayeredGraph::build(instance, Cost::ZERO);
-    let memo = RelaxMemo::new();
+    let memo = SteinerRelaxation::new();
     let root_rel = memo
         .solve(&lg, &Restrictions::default())
         .ok_or(ExactError::Infeasible)?;

@@ -35,6 +35,88 @@ pub struct Arborescence {
     pub arcs: Vec<usize>,
 }
 
+/// Memoizing front-end over [`directed_steiner`]: the relaxation engine.
+///
+/// Branch-and-bound paths frequently converge on identical restriction
+/// maps (restricting VM `a` then `b` meets `b` then `a`; the diving
+/// heuristic walks the same keep-smallest-layer restrictions the first
+/// child branches re-derive), and `directed_steiner` is a pure function of
+/// `(layered graph, restrictions)` — so each distinct restriction set is
+/// solved exactly once per engine. Shared across forked child relaxations
+/// behind a mutex; hits return the identical `Arborescence`, so results
+/// stay bit-identical for any thread count. Hit/miss counters expose how
+/// much of the search tree the memo absorbed.
+pub struct SteinerRelaxation {
+    memo: std::sync::Mutex<std::collections::HashMap<RestrictionKey, Option<Arborescence>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+/// Canonical form of a [`Restrictions`] map: sorted `(vm, mask)` pairs.
+type RestrictionKey = Vec<(usize, u32)>;
+
+/// Cache counters of a [`SteinerRelaxation`] engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RelaxationStats {
+    /// Relaxations answered from the memo.
+    pub hits: u64,
+    /// Relaxations computed by [`directed_steiner`].
+    pub misses: u64,
+}
+
+impl Default for SteinerRelaxation {
+    fn default() -> SteinerRelaxation {
+        SteinerRelaxation::new()
+    }
+}
+
+impl SteinerRelaxation {
+    /// Creates an empty engine (no memoized relaxations).
+    pub fn new() -> SteinerRelaxation {
+        SteinerRelaxation {
+            memo: std::sync::Mutex::new(std::collections::HashMap::new()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn canon(r: &Restrictions) -> RestrictionKey {
+        let mut key: RestrictionKey = r.allowed.iter().map(|(&v, &m)| (v, m)).collect();
+        key.sort_unstable();
+        key
+    }
+
+    /// Solves the relaxation, answering repeated restriction sets from the
+    /// memo.
+    pub fn solve(&self, lg: &LayeredGraph, r: &Restrictions) -> Option<Arborescence> {
+        use std::sync::atomic::Ordering;
+        let key = SteinerRelaxation::canon(r);
+        if let Some(hit) = self.memo.lock().expect("relax memo lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        // Computed outside the lock: sibling branches with distinct
+        // restriction sets must relax in parallel, and a duplicate
+        // computation of the same key is deterministic anyway.
+        let result = directed_steiner(lg, r);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.memo
+            .lock()
+            .expect("relax memo lock")
+            .insert(key, result.clone());
+        result
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> RelaxationStats {
+        use std::sync::atomic::Ordering;
+        RelaxationStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 enum Choice {
     None,
@@ -211,6 +293,27 @@ mod tests {
         let arb = directed_steiner(&lg, &Restrictions::default()).unwrap();
         // Route 0→1→2 (process at 2, cost 1) →3: links 3 + VM 1 = 4.
         assert_eq!(arb.cost, Cost::new(4.0));
+    }
+
+    #[test]
+    fn relaxation_engine_memoizes_by_canonical_restrictions() {
+        let inst = instance(1);
+        let lg = LayeredGraph::build(&inst, Cost::ZERO);
+        let engine = SteinerRelaxation::new();
+        let a = engine.solve(&lg, &Restrictions::default()).unwrap();
+        let b = engine.solve(&lg, &Restrictions::default()).unwrap();
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.arcs, b.arcs);
+        let mut r = Restrictions::default();
+        r.restrict(2, 0);
+        let c = engine.solve(&lg, &r).unwrap();
+        assert!(c.cost > a.cost);
+        // Insertion order into the map must not matter: the same
+        // restrictions reached along a different path still hit.
+        let mut r2 = Restrictions::default();
+        r2.restrict(2, 0);
+        let _ = engine.solve(&lg, &r2);
+        assert_eq!(engine.stats(), RelaxationStats { hits: 2, misses: 2 });
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //!   O(1) reset between runs, zero O(n) allocation once warm,
 //! * [`PathEngine`] — a memoizing shortest-path service keyed by
 //!   `(source set, cost epoch)`; hands out shared `Arc<ShortestPaths>`
-//!   trees and lazily invalidates on any graph mutation (see its module
-//!   docs for when to share one engine vs own one),
+//!   trees with *edge-scoped* invalidation: a cost change dirties only the
+//!   mutated edges ([`Graph::cost_changes_since`]), and cached trees those
+//!   edges cannot affect are revalidated instead of recomputed (see the
+//!   module docs for the exact safety rule),
 //! * [`MetricClosure`] — pairwise terminal distances with realizing paths,
 //!   optionally engine-backed ([`MetricClosure::with_engine`]),
 //! * [`minimum_spanning_forest`] — Kruskal MST over a [`UnionFind`],
@@ -56,7 +58,7 @@ pub use cost::Cost;
 pub use dijkstra::{DijkstraWorkspace, ShortestPaths};
 pub use engine::{PathEngine, PathEngineStats};
 pub use generators::CostRange;
-pub use graph::{Edge, Graph};
+pub use graph::{CostChange, Edge, Graph};
 pub use ids::{EdgeId, NodeId};
 pub use metric::MetricClosure;
 pub use mst::{edge_set_cost, minimum_spanning_forest};

@@ -8,7 +8,7 @@
 //! attractive inside SOFDA (Procedure 3 needs a stroll from every source to
 //! every candidate last VM).
 
-use crate::{DenseMetric, Stroll};
+use crate::{Metric, Stroll};
 use sof_graph::{Cost, Rng64};
 
 /// Cheapest colorful-path table for one source: per target the best stroll
@@ -43,8 +43,8 @@ fn stall_window(k: usize) -> usize {
 /// # Panics
 ///
 /// Panics if `k == 0` or `k > 63`.
-pub fn color_coding_all_targets(
-    metric: &DenseMetric,
+pub fn color_coding_all_targets<M: Metric + ?Sized>(
+    metric: &M,
     source: usize,
     k: usize,
     trials: usize,
@@ -92,21 +92,30 @@ pub fn color_coding_all_targets(
             if mask & smask == 0 {
                 continue; // every path contains the source's color
             }
+            if (mask as u64).count_ones() as usize == k {
+                continue; // complete; no extension needed
+            }
             for v in 0..n {
                 let cur = dp[mask * n + v];
                 if !cur.is_finite() {
                     continue;
                 }
-                if (mask as u64).count_ones() as usize == k {
-                    continue; // complete; no extension needed
-                }
+                // One row fetch per extended state: the DP relaxation below
+                // is by far the hottest metric reader in the crate, so dense
+                // and pinned-lazy metrics hand out a borrowed slice and every
+                // hop read becomes a plain indexed load.
+                let vrow = metric.row(v);
                 for w in 0..n {
                     let cbit = 1usize << color[w];
                     if mask & cbit != 0 {
                         continue;
                     }
                     let nm = mask | cbit;
-                    let nc = cur + metric.cost(v, w);
+                    let hop = match vrow {
+                        Some(r) => r[w],
+                        None => metric.cost(v, w),
+                    };
+                    let nc = cur + hop;
                     if nc < dp[nm * n + w] {
                         dp[nm * n + w] = nc;
                         pred[nm * n + w] = mask * n + v;
@@ -154,8 +163,8 @@ pub fn color_coding_all_targets(
 }
 
 /// Single-target convenience wrapper around [`color_coding_all_targets`].
-pub fn color_coding_stroll(
-    metric: &DenseMetric,
+pub fn color_coding_stroll<M: Metric + ?Sized>(
+    metric: &M,
     source: usize,
     target: usize,
     k: usize,
@@ -187,7 +196,7 @@ pub fn default_trials(k: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exact_stroll;
+    use crate::{exact_stroll, DenseMetric};
 
     fn euclid(n: usize, seed: u64) -> DenseMetric {
         let mut rng = Rng64::seed_from(seed);

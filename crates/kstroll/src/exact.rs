@@ -1,6 +1,6 @@
 //! Exact k-stroll via branch-and-bound depth-first search.
 
-use crate::{DenseMetric, Stroll};
+use crate::{Metric, Stroll};
 use sof_graph::Cost;
 
 /// Upper bound on the DFS search-space estimate accepted by
@@ -37,8 +37,8 @@ pub fn estimated_work(n: usize, k: usize) -> f64 {
 /// assert_eq!(s.nodes, vec![0, 1, 2, 3]);
 /// assert_eq!(s.cost, Cost::new(3.0));
 /// ```
-pub fn exact_stroll(
-    metric: &DenseMetric,
+pub fn exact_stroll<M: Metric + ?Sized>(
+    metric: &M,
     source: usize,
     target: usize,
     k: usize,
@@ -55,7 +55,11 @@ pub fn exact_stroll(
 /// `exact_stroll(metric, source, t, k)` bit-for-bit — stably sorting the
 /// full row and skipping used nodes visits candidates in exactly the order
 /// the per-call filtered sort did.
-pub fn exact_all_targets(metric: &DenseMetric, source: usize, k: usize) -> Vec<Option<Stroll>> {
+pub fn exact_all_targets<M: Metric + ?Sized>(
+    metric: &M,
+    source: usize,
+    k: usize,
+) -> Vec<Option<Stroll>> {
     let n = metric.len();
     let mut out: Vec<Option<Stroll>> = vec![None; n];
     if source >= n {
@@ -89,17 +93,22 @@ impl ExactWorkspace {
         }
     }
 
-    fn ensure_row(&mut self, metric: &DenseMetric, v: usize) {
+    fn ensure_row<M: Metric + ?Sized>(&mut self, metric: &M, v: usize) {
         if self.rows[v].is_empty() {
             let mut row: Vec<usize> = (0..metric.len()).collect();
-            row.sort_by_key(|&w| metric.cost(v, w));
+            // Same values either way; the borrowed slice skips the per-key
+            // virtual/locked lookup inside the stable sort.
+            match metric.row(v) {
+                Some(costs) => row.sort_by_key(|&w| costs[w]),
+                None => row.sort_by_key(|&w| metric.cost(v, w)),
+            }
             self.rows[v] = row;
         }
     }
 }
 
-fn exact_stroll_with(
-    metric: &DenseMetric,
+fn exact_stroll_with<M: Metric + ?Sized>(
+    metric: &M,
     source: usize,
     target: usize,
     k: usize,
@@ -119,8 +128,16 @@ fn exact_stroll_with(
         return Some(Stroll::from_nodes(metric, vec![source, target]));
     }
 
-    // Cheapest hop (memoized by the metric), used for the admissible bound.
-    let min_edge = metric.min_hop();
+    // Admissible per-hop lower bound supplied by the metric (the cheapest
+    // off-diagonal hop for dense instances, zero for lazy ones).
+    let min_edge = metric.hop_lower_bound();
+
+    // Borrow every row once up front: the DFS below visits up to millions
+    // of nodes, and fetching the row inside the recursion (one virtual call
+    // plus a once-cell check per node) is measurably slower than indexing
+    // this table. Metrics without borrowable rows yield `None` entries and
+    // keep the pointwise fallback.
+    let rows: Vec<Option<&[Cost]>> = (0..n).map(|v| metric.row(v)).collect();
 
     let interior = k - 2;
     ws.used[source] = true;
@@ -130,8 +147,9 @@ fn exact_stroll_with(
     let mut best: Option<(Cost, Vec<usize>)> = None;
 
     #[allow(clippy::too_many_arguments)] // recursion state threaded explicitly
-    fn dfs(
-        metric: &DenseMetric,
+    fn dfs<M: Metric + ?Sized>(
+        metric: &M,
+        rows: &[Option<&[Cost]>],
         ws: &mut ExactWorkspace,
         target: usize,
         remaining: usize,
@@ -140,8 +158,16 @@ fn exact_stroll_with(
         best: &mut Option<(Cost, Vec<usize>)>,
     ) {
         let cur = *ws.path.last().expect("path never empty");
+        // Rows were borrowed once before the search started; dense and
+        // pinned-lazy metrics make every hop read below a plain indexed
+        // load, capped metrics fall back to the pointwise call.
+        let row = rows[cur];
+        let hop = |w: usize| match row {
+            Some(r) => r[w],
+            None => metric.cost(cur, w),
+        };
         if remaining == 0 {
-            let total = cur_cost + metric.cost(cur, target);
+            let total = cur_cost + hop(target);
             if best.as_ref().is_none_or(|(b, _)| total < *b) {
                 let mut nodes = ws.path.clone();
                 nodes.push(target);
@@ -170,11 +196,12 @@ fn exact_stroll_with(
             ws.path.push(v);
             dfs(
                 metric,
+                rows,
                 ws,
                 target,
                 remaining - 1,
                 min_edge,
-                cur_cost + metric.cost(cur, v),
+                cur_cost + hop(v),
                 best,
             );
             ws.path.pop();
@@ -184,6 +211,7 @@ fn exact_stroll_with(
 
     dfs(
         metric,
+        &rows,
         ws,
         target,
         interior,
@@ -199,6 +227,7 @@ fn exact_stroll_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::DenseMetric;
 
     fn line(n: usize) -> DenseMetric {
         DenseMetric::from_fn(n, |i, j| Cost::new((i as f64 - j as f64).abs()))

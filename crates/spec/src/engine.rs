@@ -771,6 +771,11 @@ fn run_single_group(
         t.joins = st.joins;
         t.leaves = st.leaves;
         t.fallbacks = st.fallbacks;
+        let eng = session.instance().network.paths().stats();
+        t.engine_hits = eng.hits;
+        t.engine_misses = eng.misses;
+        t.engine_stale = eng.stale;
+        t.engine_repairs = eng.repairs;
     }
     let suffix = if group.scratch {
         ""

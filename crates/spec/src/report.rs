@@ -131,6 +131,16 @@ pub struct OnlineSolverStats {
     pub leaves: usize,
     /// Lifetime counter: incremental attempts abandoned for a rebuild.
     pub fallbacks: usize,
+    /// `PathEngine` counter: trees served straight from the cache.
+    pub engine_hits: u64,
+    /// `PathEngine` counter: trees built by a full Dijkstra.
+    pub engine_misses: u64,
+    /// `PathEngine` counter: misses whose source was cached under an older
+    /// cost epoch.
+    pub engine_stale: u64,
+    /// `PathEngine` counter: stale trees revalidated in place without a
+    /// Dijkstra (edge-scoped invalidation).
+    pub engine_repairs: u64,
 }
 
 impl OnlineSolverStats {
@@ -380,7 +390,11 @@ pub fn write_jsonl(report: &RunReport, timings: bool) -> String {
             Detail::None => {}
             Detail::Online(d) => {
                 for s in &d.sessions {
-                    let counters: [(&str, f64, bool); 9] = [
+                    // Engine counters ride behind the timing gate: they are
+                    // cache-effectiveness measurements (warmth-dependent, and
+                    // sensitive to thread interleaving), not part of the
+                    // deterministic golden stream.
+                    let counters: [(&str, f64, bool); 13] = [
                         ("full_solves", s.full_solves as f64, false),
                         ("incremental_events", s.incremental_events as f64, false),
                         ("joins", s.joins as f64, false),
@@ -390,6 +404,10 @@ pub fn write_jsonl(report: &RunReport, timings: bool) -> String {
                         ("inc_ms", s.inc_ms, true),
                         ("solve_n", s.solve_n as f64, false),
                         ("inc_n", s.inc_n as f64, false),
+                        ("engine_hits", s.engine_hits as f64, true),
+                        ("engine_misses", s.engine_misses as f64, true),
+                        ("engine_stale", s.engine_stale as f64, true),
+                        ("engine_repairs", s.engine_repairs as f64, true),
                     ];
                     for (name, value, timing) in counters {
                         if timing && !timings {

@@ -11,7 +11,9 @@
 //! `--format markdown` for the legacy figure tables.
 
 use sof_spec::shim::{apply_overrides, Overrides};
-use sof_spec::{render_markdown, run_spec, write_jsonl, RunOptions, ScenarioSpec};
+use sof_spec::{
+    render_markdown, run_spec, write_jsonl, Detail, RunOptions, RunReport, ScenarioSpec,
+};
 use std::path::Path;
 use std::process::exit;
 
@@ -186,6 +188,26 @@ const BENCH_PRESETS: &[(&str, &str, &str)] = &[
     ("table2-exact", "table2", "--seeds 2"),
 ];
 
+/// Sums the `PathEngine` counters over every online session in the
+/// report: (hits, misses, stale, repairs). `None` when the report has no
+/// online sections (sweeps don't surface per-session engine stats).
+fn engine_counters(report: &RunReport) -> Option<(u64, u64, u64, u64)> {
+    let mut any = false;
+    let mut sum = (0u64, 0u64, 0u64, 0u64);
+    for section in &report.sections {
+        if let Detail::Online(d) = &section.detail {
+            for s in &d.sessions {
+                any = true;
+                sum.0 += s.engine_hits;
+                sum.1 += s.engine_misses;
+                sum.2 += s.engine_stale;
+                sum.3 += s.engine_repairs;
+            }
+        }
+    }
+    any.then_some(sum)
+}
+
 fn cmd_bench_snapshot(args: Vec<String>) {
     let mut out: Option<String> = None;
     let mut reps = 3usize;
@@ -230,15 +252,21 @@ fn cmd_bench_snapshot(args: Vec<String>) {
             fatal(format!("bench preset {name}: {e}"));
         }
         let mut wall_ms = Vec::with_capacity(reps);
+        let mut last_report: Option<RunReport> = None;
         for _ in 0..reps {
             let start = std::time::Instant::now();
-            if let Err(e) = run_spec(&spec, &opts) {
-                fatal(format!("bench preset {name}: {e}"));
+            match run_spec(&spec, &opts) {
+                Ok(r) => last_report = Some(r),
+                Err(e) => fatal(format!("bench preset {name}: {e}")),
             }
             wall_ms.push(start.elapsed().as_secs_f64() * 1e3);
         }
+        let engine = last_report.as_ref().and_then(engine_counters);
+        let engine_note = engine
+            .map(|(h, m, s, r)| format!("  engine hits {h} / misses {m} / stale {s} / repairs {r}"))
+            .unwrap_or_default();
         eprintln!(
-            "{name:<16} {}",
+            "{name:<16} {}{engine_note}",
             wall_ms
                 .iter()
                 .map(|ms| format!("{ms:.0} ms"))
@@ -250,9 +278,14 @@ fn cmd_bench_snapshot(args: Vec<String>) {
             .map(|ms| format!("{ms:.1}"))
             .collect::<Vec<_>>()
             .join(",");
+        let engine_json = engine
+            .map(|(h, m, s, r)| {
+                format!(",\"engine\":{{\"hits\":{h},\"misses\":{m},\"stale\":{s},\"repairs\":{r}}}")
+            })
+            .unwrap_or_default();
         let sep = if i + 1 < BENCH_PRESETS.len() { "," } else { "" };
         entries.push_str(&format!(
-            "    {{\"name\":\"{name}\",\"preset\":\"{preset}\",\"args\":\"{flags}\",\"wall_ms\":[{values}]}}{sep}\n"
+            "    {{\"name\":\"{name}\",\"preset\":\"{preset}\",\"args\":\"{flags}\",\"wall_ms\":[{values}]{engine_json}}}{sep}\n"
         ));
     }
     let threads_used = sof_par::current_threads();

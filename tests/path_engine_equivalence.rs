@@ -175,8 +175,10 @@ fn online_session_warm_engine_is_invisible_in_results() {
     assert_eq!(a.forest(), b.forest());
 }
 
-/// Epoch invalidation end to end: mutate one edge cost through the network
-/// and the engine must refuse the stale tree.
+/// Invalidation end to end: reprice an edge **on** a cached tree through
+/// the network and the engine must refuse the stale tree. (Repricing an
+/// edge the tree does not traverse is instead repaired in place — covered
+/// by the scoped-invalidation tests in `sof_graph`.)
 #[test]
 fn cost_mutation_invalidates_network_cache() {
     let inst = random_instance(7);
@@ -184,7 +186,10 @@ fn cost_mutation_invalidates_network_cache() {
     let src = inst.request.sources[0];
     let before = inst.network.paths().from_source(g, src);
     let mut inst2 = inst.clone();
-    let e = sof::graph::EdgeId::new(0);
+    let e = g
+        .nodes()
+        .find_map(|v| before.parent(v).map(|(_, e)| e))
+        .expect("source tree has at least one edge");
     let bumped = inst2.network.graph().edge_cost(e) * 10.0;
     inst2.network.graph_mut().set_edge_cost(e, bumped);
     let after = inst2

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use sof::core::{solve_sofda, Network, Request, ServiceChain, SofInstance, SofdaConfig};
 use sof::graph::{generators, Cost, CostRange, NodeId, Rng64};
-use sof::kstroll::{exact_stroll, greedy_stroll, DenseMetric};
+use sof::kstroll::{exact_stroll, greedy_stroll, DenseMetric, LazyMetric, Metric};
 
 fn random_instance(
     seed: u64,
@@ -65,7 +65,71 @@ proptest! {
             Cost::ZERO,
         )
         .unwrap();
-        prop_assert!(cm.metric().respects_triangle_inequality(1e-6));
+        let m = cm.metric();
+        let dense = DenseMetric::from_fn(m.len(), |i, j| m.cost(i, j));
+        prop_assert!(dense.respects_triangle_inequality(1e-6));
+    }
+
+    /// A `LazyMetric` answers bit-identically to the `DenseMetric` built
+    /// from the same oracle — including through solver calls — even with a
+    /// row cap small enough to force constant eviction and rebuild.
+    #[test]
+    fn lazy_metric_bit_identical_to_dense(seed in 0u64..5000, cap in 1usize..6, k in 2usize..6) {
+        let mut rng = Rng64::seed_from(seed);
+        let n = 12usize;
+        let g = generators::gnp_connected(n, 0.3, CostRange::new(1.0, 9.0), &mut rng);
+        let trees: Vec<sof::graph::ShortestPaths> = (0..n)
+            .map(|v| sof::graph::ShortestPaths::from_source(&g, NodeId::new(v)))
+            .collect();
+        let dense = DenseMetric::from_fn(n, |i, j| trees[i].dist(NodeId::new(j)));
+        let lazy = LazyMetric::with_row_cap(n, cap, move |i, j| trees[i].dist(NodeId::new(j)));
+        // Probe in a scattered order so rows churn through the tiny cache.
+        for step in 0..3 * n {
+            let i = (step * 7 + seed as usize) % n;
+            let j = (step * 5 + 3) % n;
+            prop_assert_eq!(dense.cost(i, j), Metric::cost(&lazy, i, j));
+        }
+        prop_assert_eq!(exact_stroll(&dense, 0, n - 1, k), exact_stroll(&lazy, 0, n - 1, k));
+        prop_assert_eq!(greedy_stroll(&dense, 0, n - 1, k), greedy_stroll(&lazy, 0, n - 1, k));
+    }
+
+    /// After an arbitrary mix of edge repricings (including no-op rewrites),
+    /// a persistent `PathEngine` — hitting, repairing, or recomputing its
+    /// cached trees — always serves trees identical to a from-scratch
+    /// Dijkstra, for serial and parallel (4-thread) querying alike.
+    #[test]
+    fn scoped_invalidation_matches_scratch_engine(
+        seed in 0u64..3000,
+        parallel in 0usize..2,
+    ) {
+        let threads = [1usize, 4][parallel];
+        let mut rng = Rng64::seed_from(seed);
+        let n = 14usize;
+        let mut g = generators::gnp_connected(n, 0.25, CostRange::new(1.0, 9.0), &mut rng);
+        let engine = sof::graph::PathEngine::new();
+        for _ in 0..5 {
+            let sources: Vec<NodeId> =
+                rng.sample_indices(n, 3).into_iter().map(NodeId::new).collect();
+            let trees =
+                sof::par::par_map_indexed(&sources, threads, |_, &s| engine.from_source(&g, s))
+                    .unwrap();
+            for (s, tree) in sources.iter().zip(&trees) {
+                let fresh = sof::graph::ShortestPaths::from_source(&g, *s);
+                for v in (0..n).map(NodeId::new) {
+                    prop_assert_eq!(tree.dist(v), fresh.dist(v));
+                    prop_assert_eq!(tree.parent(v), fresh.parent(v));
+                }
+            }
+            for _ in 0..2 {
+                let e = sof::graph::EdgeId::new(rng.below(g.edge_count()));
+                if rng.below(3) == 0 {
+                    let same = g.edge_cost(e);
+                    g.set_edge_cost(e, same); // must not disturb the cache
+                } else {
+                    g.set_edge_cost(e, Cost::new(rng.range_f64(1.0, 9.0)));
+                }
+            }
+        }
     }
 
     /// Greedy k-stroll never beats exact, and both validate.
