@@ -298,7 +298,7 @@ impl ServiceChain {
 
 /// A multicast request: sources holding the content, destinations demanding
 /// it, and the VNF chain each destination's copy must traverse.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Request {
     /// Candidate sources `S`.
     pub sources: Vec<NodeId>,

@@ -95,6 +95,24 @@ impl SessionPool {
         self.sessions
     }
 
+    /// Appends a session, returning its slot index.
+    pub fn push(&mut self, session: OnlineSession) -> usize {
+        self.sessions.push(session);
+        self.sessions.len() - 1
+    }
+
+    /// Swaps the session in slot `i` for a fresh one, returning the
+    /// retired session. Slot indices of other sessions are unchanged, so
+    /// long-running drivers can retire finished groups in place while the
+    /// pool keeps its size (and its lockstep step shape) constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()`.
+    pub fn replace(&mut self, i: usize, session: OnlineSession) -> OnlineSession {
+        std::mem::replace(&mut self.sessions[i], session)
+    }
+
     /// Steps every session once: session `i` processes `requests[i]`.
     /// Reports come back in session order and are bit-identical to calling
     /// [`OnlineSession::arrive`] sequentially, for any thread count.
@@ -111,6 +129,32 @@ impl SessionPool {
         );
         sof_par::par_map_mut(&mut self.sessions, self.threads, |i, session| {
             session.arrive(requests[i].clone())
+        })
+        .unwrap_or_else(|e| panic!("session pool: {e}"))
+    }
+
+    /// Steps only the sessions that have a request this round: slot `i`
+    /// processes `requests[i]` when it is `Some`, and is left untouched
+    /// (no cost, no counters) when it is `None`. Reports come back in
+    /// slot order with `None` for idle slots; like
+    /// [`SessionPool::arrive_each`] the outcome is bit-identical to a
+    /// sequential sweep, for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `requests.len() != self.len()`, or when a session's
+    /// solver panics.
+    pub fn arrive_opt(
+        &mut self,
+        requests: &[Option<Request>],
+    ) -> Vec<Option<Result<ArrivalReport, SolveError>>> {
+        assert_eq!(
+            requests.len(),
+            self.sessions.len(),
+            "one request slot per session"
+        );
+        sof_par::par_map_mut(&mut self.sessions, self.threads, |i, session| {
+            requests[i].as_ref().map(|r| session.arrive(r.clone()))
         })
         .unwrap_or_else(|e| panic!("session pool: {e}"))
     }
@@ -196,5 +240,49 @@ mod tests {
     fn mismatched_request_count_panics() {
         let mut pool = SessionPool::new(vec![session(1)]);
         pool.arrive_each(&[]);
+    }
+
+    #[test]
+    fn push_and_replace_keep_slot_order() {
+        let mut pool = SessionPool::new(vec![session(1), session(2)]);
+        assert_eq!(pool.push(session(3)), 2);
+        assert_eq!(pool.len(), 3);
+        let req = pool.sessions()[1].instance().request.clone();
+        pool.sessions_mut()[1].arrive(req).unwrap();
+        let stepped_cost = pool.accumulated_costs()[1];
+        assert!(stepped_cost > 0.0);
+        let retired = pool.replace(1, session(9));
+        assert_eq!(retired.accumulated_cost(), stepped_cost);
+        assert_eq!(pool.accumulated_costs()[1], 0.0, "fresh session in slot 1");
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn arrive_opt_skips_idle_slots() {
+        let seeds = [3u64, 4, 5];
+        for threads in [1, 4] {
+            let mut pool =
+                SessionPool::new(seeds.iter().map(|&s| session(s)).collect()).with_threads(threads);
+            let req1 = pool.sessions()[1].instance().request.clone();
+            let reports = pool.arrive_opt(&[None, Some(req1), None]);
+            assert!(reports[0].is_none() && reports[2].is_none());
+            assert!(reports[1].as_ref().unwrap().is_ok());
+            let costs = pool.accumulated_costs();
+            assert_eq!(costs[0], 0.0);
+            assert_eq!(costs[2], 0.0);
+            assert!(costs[1] > 0.0);
+            // The stepped slot matches a solo sequential session.
+            let mut solo = session(4);
+            let req = solo.instance().request.clone();
+            solo.arrive(req).unwrap();
+            assert_eq!(costs[1], solo.accumulated_cost(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one request slot per session")]
+    fn arrive_opt_mismatch_panics() {
+        let mut pool = SessionPool::new(vec![session(1)]);
+        pool.arrive_opt(&[None, None]);
     }
 }

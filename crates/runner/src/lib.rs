@@ -1,0 +1,67 @@
+//! Streaming churn-at-scale simulation: 10k+ concurrent multicast groups,
+//! millions of viewer events, bounded memory.
+//!
+//! The paper's §VII-C dynamics (fig12) step a handful of
+//! [`sof_core::OnlineSession`]s over a few hundred pre-drawn events. This
+//! crate is the production-scale counterpart: a [`Runner`] drives a
+//! [`sof_core::SessionPool`] over a **lazily generated** event timeline —
+//! the event list is never materialized, and no end-of-run report is
+//! accumulated. Three pieces compose:
+//!
+//! * **Lazy per-group event streams** ([`GroupProcess`]): every group's
+//!   history (home region, roamed viewer pool, initial snapshot, churn
+//!   snapshots, lifetime) is a pure function of `(run_seed, group_id)`,
+//!   drawn on demand from [`sof_sim::ChurnStream`] over a region-local
+//!   node pool. Retired groups are replaced in their pool slot by fresh
+//!   ones, so concurrency stays constant forever.
+//! * **Wards** ([`Ward`]): pluggable stop conditions — a deterministic
+//!   event budget, a wall-clock safety net, or convergence of the
+//!   windowed mean forest cost — checked between lockstep rounds.
+//! * **Sinks** ([`Sink`]): a subscriber layer that receives every
+//!   [`Record`] (meta, per-event samples, windowed aggregates, summary)
+//!   the moment it is produced. [`JsonlSink`] streams the stable golden
+//!   line format; [`Runner::subscribe`] hands out an `mpsc` channel.
+//!
+//! Stepping is lockstep: each round, every live slot pulls one event from
+//! its group's stream and the pool arrives them via order-preserving
+//! `sof_par` workers — results and record streams are bit-identical for
+//! any `SOF_THREADS`. Memory is O(groups + open window), independent of
+//! the event count.
+//!
+//! # Examples
+//!
+//! ```
+//! use sof_runner::{CollectSink, Record, Runner, RunnerConfig, Ward};
+//!
+//! let mut cfg = RunnerConfig::new("doc");
+//! cfg.groups = 4;
+//! cfg.window = 8;
+//! cfg.wards = vec![Ward::MaxEvents(16)];
+//! let mut runner = Runner::new(cfg).unwrap();
+//! let (sink, records) = CollectSink::new();
+//! runner.add_sink(Box::new(sink));
+//! let summary = runner.run().unwrap();
+//! assert_eq!(summary.events, 16);
+//! let records = records.lock().unwrap();
+//! assert!(matches!(records.first(), Some(Record::Meta { .. })));
+//! assert!(matches!(records.last(), Some(Record::Summary(_))));
+//! ```
+//!
+//! For long runs, move the runner to a background thread and keep the
+//! handle: [`Runner::spawn`] → [`RunnerHandle::stop`] /
+//! [`RunnerHandle::join`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod runner;
+mod sink;
+mod ward;
+
+pub use events::{GroupChurnConfig, GroupEvent, GroupProcess};
+pub use runner::{Runner, RunnerConfig, RunnerHandle, Summary};
+pub use sink::{
+    CollectSink, EngineTotals, EventRecord, JsonlSink, Record, Sink, SummaryRecord, WindowRecord,
+};
+pub use ward::{StopReason, Ward};

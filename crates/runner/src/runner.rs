@@ -1,0 +1,518 @@
+//! The runner: lockstep stepping of a [`SessionPool`] over lazily
+//! generated group timelines, with wards, sinks and a background handle.
+
+use crate::events::{GroupChurnConfig, GroupProcess};
+use crate::sink::{
+    ChannelSink, EngineTotals, EventRecord, Record, Sink, SummaryRecord, WindowRecord,
+};
+use crate::ward::{StopReason, Ward, WardSet};
+use sof_core::{OnlineConfig, OnlineSession, Request, SessionPool, SofdaConfig};
+use sof_topo::{
+    build_region_instance, build_regions, RegionScenario, RegionTopology, RegionsParams,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Full configuration of one churn-at-scale run.
+#[derive(Clone, Debug)]
+pub struct RunnerConfig {
+    /// Run name (echoed in the meta record).
+    pub name: String,
+    /// The multi-region network every group lives on.
+    pub regions: RegionsParams,
+    /// Concurrent groups: the pool holds exactly this many slots; retired
+    /// groups are replaced in place so concurrency stays constant.
+    pub groups: usize,
+    /// VMs attached to every DC node of each group's instance.
+    pub vms_per_dc: usize,
+    /// Multiplier on VM setup costs.
+    pub setup_scale: f64,
+    /// Per-group churn process shape.
+    pub churn: GroupChurnConfig,
+    /// Solver registry name (see `sof_solvers::by_name`).
+    pub solver: String,
+    /// SOFDA tuning (per-group seeds are mixed in on top).
+    pub sofda: SofdaConfig,
+    /// Online-session tuning shared by every group.
+    pub online: OnlineConfig,
+    /// Run seed: topology, per-group processes and instances all derive
+    /// from it.
+    pub seed: u64,
+    /// Events per window record (≥ 1; windows close at the first round
+    /// boundary at or past this many events).
+    pub window: u64,
+    /// Also emit one [`Record::Event`] per event (the full-scale stream;
+    /// off by default).
+    pub emit_events: bool,
+    /// Include wall-clock `millis` fields in records. Leave off for
+    /// deterministic output.
+    pub timings: bool,
+    /// Worker threads (`0` = auto via `SOF_THREADS`).
+    pub threads: usize,
+    /// Stop conditions; the first to trip ends the run. With no wards the
+    /// run only ends via [`RunnerHandle::stop`].
+    pub wards: Vec<Ward>,
+}
+
+impl RunnerConfig {
+    /// A config with library defaults: 3-region network, SOFDA, windows
+    /// of 1000 events, a 100k-event budget.
+    pub fn new(name: impl Into<String>) -> RunnerConfig {
+        RunnerConfig {
+            name: name.into(),
+            regions: RegionsParams::new(vec![
+                sof_topo::RegionDef::new("us-east", 8, 2),
+                sof_topo::RegionDef::new("eu-west", 8, 2),
+                sof_topo::RegionDef::new("ap-south", 8, 2),
+            ]),
+            groups: 100,
+            vms_per_dc: 1,
+            setup_scale: 1.0,
+            churn: GroupChurnConfig::default(),
+            solver: "SOFDA".into(),
+            sofda: SofdaConfig::default(),
+            online: OnlineConfig::default(),
+            seed: 42,
+            window: 1000,
+            emit_events: false,
+            timings: false,
+            threads: 0,
+            wards: vec![Ward::MaxEvents(100_000)],
+        }
+    }
+
+    /// Checks the configuration without building anything.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.regions.validate()?;
+        self.churn.validate()?;
+        if self.groups == 0 {
+            return Err("groups must be at least 1".into());
+        }
+        if self.vms_per_dc == 0 {
+            return Err("vms_per_dc must be at least 1".into());
+        }
+        if self.window == 0 {
+            return Err("window must be at least 1".into());
+        }
+        if sof_solvers::by_name(&self.solver).is_none() {
+            return Err(format!(
+                "unknown solver '{}' (see sof_solvers::all)",
+                self.solver
+            ));
+        }
+        let smallest = self
+            .regions
+            .regions
+            .iter()
+            .map(|r| r.nodes)
+            .min()
+            .unwrap_or(0);
+        if smallest < 2 {
+            return Err("every region needs at least 2 nodes for a group to live on".into());
+        }
+        Ok(())
+    }
+}
+
+/// End-of-run totals returned by [`Runner::run`] (the same numbers the
+/// final [`Record::Summary`] carries).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Total events processed.
+    pub events: u64,
+    /// Windows emitted.
+    pub windows: u64,
+    /// Distinct groups created over the run.
+    pub groups_seen: u64,
+    /// Groups retired over the run.
+    pub retired: u64,
+    /// Failed embeds over the run.
+    pub errors: u64,
+    /// Total accumulated embedding cost (retired groups included).
+    pub accumulated_cost: f64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+/// Open-window accumulators — the only per-event state the runner keeps,
+/// reset at every window boundary (O(1) in the event count).
+#[derive(Clone, Copy, Debug, Default)]
+struct WindowAccum {
+    events: u64,
+    full_solves: u64,
+    incremental: u64,
+    joins: u64,
+    leaves: u64,
+    errors: u64,
+    cost_sum: f64,
+    millis: f64,
+}
+
+/// A streaming churn-at-scale simulation over one [`SessionPool`].
+///
+/// See the [crate docs](crate) for the stepping model and an example.
+pub struct Runner {
+    cfg: RunnerConfig,
+    rt: RegionTopology,
+    pool: SessionPool,
+    procs: Vec<GroupProcess>,
+    sinks: Vec<Box<dyn Sink>>,
+    stop: Arc<AtomicBool>,
+    next_id: u64,
+    seq: u64,
+    retired: u64,
+    errors: u64,
+    windows: u64,
+    /// Stats carried over from retired sessions.
+    retired_cost: f64,
+    retired_engine: EngineTotals,
+}
+
+impl Runner {
+    /// Builds the region topology and the initial pool of `cfg.groups`
+    /// sessions (group ids `0..groups`).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`RunnerConfig::validate`] rejects.
+    pub fn new(cfg: RunnerConfig) -> Result<Runner, String> {
+        cfg.validate()?;
+        let rt = build_regions(&cfg.regions, cfg.seed)?;
+        let mut procs = Vec::with_capacity(cfg.groups);
+        let mut sessions = Vec::with_capacity(cfg.groups);
+        for id in 0..cfg.groups as u64 {
+            let proc = GroupProcess::new(id, &rt, &cfg.churn, cfg.seed);
+            sessions.push(make_session(&rt, &cfg, &proc));
+            procs.push(proc);
+        }
+        let pool = SessionPool::new(sessions).with_threads(cfg.threads);
+        Ok(Runner {
+            next_id: cfg.groups as u64,
+            cfg,
+            rt,
+            pool,
+            procs,
+            sinks: Vec::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+            seq: 0,
+            retired: 0,
+            errors: 0,
+            windows: 0,
+            retired_cost: 0.0,
+            retired_engine: EngineTotals::default(),
+        })
+    }
+
+    /// Attaches a sink; every record is pushed to all sinks in attach
+    /// order.
+    pub fn add_sink(&mut self, sink: Box<dyn Sink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Subscribes a channel to the record stream. The receiver sees
+    /// clones of every record; dropping it never aborts the run.
+    pub fn subscribe(&mut self) -> Receiver<Record> {
+        let (tx, rx) = channel();
+        self.sinks.push(Box::new(ChannelSink { tx }));
+        rx
+    }
+
+    /// The shared stop flag (set by [`RunnerHandle::stop`]); setting it
+    /// ends the run at the next round boundary.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Runs synchronously until a ward trips or the stop flag is set,
+    /// returning the end-of-run totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first sink I/O error or session solve panic-free
+    /// failure that is not recoverable by retiring the group.
+    pub fn run(mut self) -> Result<Summary, String> {
+        let started = Instant::now();
+        let mut wards = WardSet::new(self.cfg.wards.clone());
+        self.emit(Record::Meta {
+            name: self.cfg.name.clone(),
+            groups: self.cfg.groups,
+            regions: (0..self.rt.region_count())
+                .map(|r| self.rt.region_name(r).to_string())
+                .collect(),
+            seed: self.cfg.seed,
+            solver: self.cfg.solver.clone(),
+            window: self.cfg.window,
+            events_target: wards.events_left(0),
+        })?;
+        let mut win = WindowAccum::default();
+        let stop = loop {
+            if self.stop.load(Ordering::Relaxed) {
+                break StopReason::Stopped;
+            }
+            // Trim the final round so MaxEvents lands exactly on budget.
+            let budget = wards
+                .events_left(self.seq)
+                .map(|left| (left.min(self.cfg.groups as u64)) as usize)
+                .unwrap_or(self.cfg.groups);
+            if budget == 0 {
+                break StopReason::MaxEvents;
+            }
+            let round = self.step_round(budget, &mut win)?;
+            debug_assert_eq!(round, budget as u64);
+            if let Some(reason) = wards.after_round(self.seq, started.elapsed()) {
+                // Flush the open window before stopping so no events are
+                // silently dropped from the stream.
+                if win.events > 0 {
+                    let mean = self.close_window(&mut win)?;
+                    wards.after_window(mean);
+                }
+                break reason;
+            }
+            if win.events >= self.cfg.window {
+                let mean = self.close_window(&mut win)?;
+                if let Some(reason) = wards.after_window(mean) {
+                    break reason;
+                }
+            }
+        };
+        if win.events > 0 {
+            self.close_window(&mut win)?;
+        }
+        let summary = Summary {
+            events: self.seq,
+            windows: self.windows,
+            groups_seen: self.next_id,
+            retired: self.retired,
+            errors: self.errors,
+            accumulated_cost: self.accumulated_cost(),
+            stop,
+        };
+        self.emit(Record::Summary(SummaryRecord {
+            events: summary.events,
+            windows: summary.windows,
+            groups_seen: summary.groups_seen,
+            retired: summary.retired,
+            errors: summary.errors,
+            accumulated_cost: summary.accumulated_cost,
+            stop,
+            millis: self
+                .cfg
+                .timings
+                .then(|| started.elapsed().as_secs_f64() * 1e3),
+        }))?;
+        for sink in &mut self.sinks {
+            sink.flush().map_err(|e| format!("sink flush: {e}"))?;
+        }
+        Ok(summary)
+    }
+
+    /// Moves the runner onto a background thread, returning a handle to
+    /// stop and join it.
+    pub fn spawn(self) -> RunnerHandle {
+        let stop = self.stop_flag();
+        let thread = std::thread::Builder::new()
+            .name("sof-runner".into())
+            .spawn(move || self.run())
+            .expect("spawn runner thread");
+        RunnerHandle { stop, thread }
+    }
+
+    /// Steps the first `budget` slots once: retires expired groups in
+    /// place, pulls one event per live slot, arrives them through the
+    /// pool, and folds the reports into the open window.
+    fn step_round(&mut self, budget: usize, win: &mut WindowAccum) -> Result<u64, String> {
+        let mut requests: Vec<Option<Request>> = vec![None; self.procs.len()];
+        let mut initial: Vec<bool> = vec![false; self.procs.len()];
+        for slot in 0..budget.min(self.procs.len()) {
+            let event = match self.procs[slot].next_event() {
+                Some(ev) => ev,
+                None => {
+                    // Group lifetime spent: retire it, fold its cost and
+                    // cache counters into the run baselines, and start a
+                    // fresh group in the same slot — its initial embed is
+                    // this round's event.
+                    let fresh =
+                        GroupProcess::new(self.next_id, &self.rt, &self.cfg.churn, self.cfg.seed);
+                    self.next_id += 1;
+                    let session = make_session(&self.rt, &self.cfg, &fresh);
+                    let old = self.pool.replace(slot, session);
+                    self.retired += 1;
+                    self.retired_cost += old.accumulated_cost();
+                    add_engine(&mut self.retired_engine, &old);
+                    self.procs[slot] = fresh;
+                    self.procs[slot]
+                        .next_event()
+                        .expect("fresh group emits its initial event")
+                }
+            };
+            initial[slot] = event.is_initial();
+            requests[slot] = Some(event.request().clone());
+        }
+        let reports = self.pool.arrive_opt(&requests);
+        let mut stepped = 0u64;
+        for (slot, report) in reports.into_iter().enumerate() {
+            let Some(report) = report else { continue };
+            let seq = self.seq;
+            self.seq += 1;
+            stepped += 1;
+            win.events += 1;
+            match report {
+                Ok(rep) => {
+                    if rep.rebuilt {
+                        win.full_solves += 1;
+                    } else {
+                        win.incremental += 1;
+                    }
+                    win.joins += rep.joined as u64;
+                    win.leaves += rep.left as u64;
+                    win.cost_sum += rep.forest_cost;
+                    win.millis += rep.millis;
+                    if self.cfg.emit_events {
+                        let record = Record::Event(EventRecord {
+                            seq,
+                            slot,
+                            group: self.procs[slot].id(),
+                            initial: initial[slot],
+                            viewers: self.procs[slot].current().destinations.len(),
+                            joined: rep.joined,
+                            left: rep.left,
+                            rebuilt: rep.rebuilt,
+                            cost: rep.forest_cost,
+                            millis: self.cfg.timings.then_some(rep.millis),
+                        });
+                        self.emit(record)?;
+                    }
+                }
+                Err(_) => {
+                    // Infeasible embed: count it and recycle the slot at
+                    // the next round (deterministic — the error is a
+                    // property of the group's instance, not of timing).
+                    win.errors += 1;
+                    self.errors += 1;
+                    self.procs[slot].retire();
+                }
+            }
+        }
+        Ok(stepped)
+    }
+
+    /// Emits the open window as a record and resets the accumulators,
+    /// returning the window's mean cost (for the convergence ward).
+    fn close_window(&mut self, win: &mut WindowAccum) -> Result<f64, String> {
+        let mean = if win.events > 0 {
+            win.cost_sum / win.events as f64
+        } else {
+            0.0
+        };
+        let record = Record::Window(WindowRecord {
+            index: self.windows,
+            events: win.events,
+            total_events: self.seq,
+            active: self.pool.len(),
+            retired: self.retired,
+            errors: self.errors,
+            full_solves: win.full_solves,
+            incremental: win.incremental,
+            joins: win.joins,
+            leaves: win.leaves,
+            mean_cost: mean,
+            accumulated_cost: self.accumulated_cost(),
+            engine: self.engine_totals(),
+            millis: self.cfg.timings.then_some(win.millis),
+        });
+        self.windows += 1;
+        *win = WindowAccum::default();
+        self.emit(record)?;
+        for sink in &mut self.sinks {
+            sink.flush().map_err(|e| format!("sink flush: {e}"))?;
+        }
+        Ok(mean)
+    }
+
+    fn accumulated_cost(&self) -> f64 {
+        self.retired_cost + self.pool.total_accumulated_cost()
+    }
+
+    /// Path-cache counters summed over every session ever stepped. Each
+    /// session owns its private engine, so the totals are deterministic
+    /// for any thread count.
+    fn engine_totals(&self) -> EngineTotals {
+        let mut totals = self.retired_engine;
+        for session in self.pool.sessions() {
+            add_engine(&mut totals, session);
+        }
+        totals
+    }
+
+    fn emit(&mut self, record: Record) -> Result<(), String> {
+        for sink in &mut self.sinks {
+            sink.record(&record).map_err(|e| format!("sink: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+fn make_session(rt: &RegionTopology, cfg: &RunnerConfig, proc: &GroupProcess) -> OnlineSession {
+    let initial = proc.current();
+    let instance = build_region_instance(
+        rt,
+        &RegionScenario {
+            vms_per_dc: cfg.vms_per_dc,
+            setup_scale: cfg.setup_scale,
+            seed: proc.instance_seed(),
+        },
+        initial.sources.clone(),
+        initial.destinations.clone(),
+        cfg.churn.chain_len,
+    );
+    let solver = sof_solvers::by_name(&cfg.solver).expect("solver validated in RunnerConfig");
+    let mut sofda = cfg.sofda;
+    sofda.seed ^= proc.instance_seed();
+    let mut online = cfg.online;
+    online.demand_mbps = cfg.churn.demand_mbps;
+    OnlineSession::new(instance, solver, sofda, online)
+}
+
+fn add_engine(totals: &mut EngineTotals, session: &OnlineSession) {
+    let stats = session.instance().network.paths().stats();
+    totals.hits += stats.hits;
+    totals.misses += stats.misses;
+    totals.stale += stats.stale;
+    totals.repairs += stats.repairs;
+}
+
+/// Handle to a runner on a background thread.
+pub struct RunnerHandle {
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<Result<Summary, String>>,
+}
+
+impl RunnerHandle {
+    /// Requests a stop; the run ends at the next round boundary with
+    /// [`StopReason::Stopped`].
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the background run has finished.
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Waits for the run and returns its totals.
+    ///
+    /// # Errors
+    ///
+    /// The runner's own error, or a message if its thread panicked.
+    pub fn join(self) -> Result<Summary, String> {
+        self.thread
+            .join()
+            .map_err(|_| "runner thread panicked".to_string())?
+    }
+}

@@ -1,0 +1,175 @@
+//! Wards: pluggable stop conditions checked between stepping rounds.
+//!
+//! A churn-at-scale run has no natural end — groups retire and are
+//! replaced forever — so the runner carries a set of wards and stops at
+//! the first one that trips. [`Ward::MaxEvents`] is the deterministic
+//! budget used by presets and goldens; [`Ward::MaxWallclock`] is a safety
+//! net whose trip point depends on the host (never use it for golden
+//! output); [`Ward::ConvergedCost`] watches the windowed mean forest cost
+//! and stops once it has settled.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A stop condition.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Ward {
+    /// Stop once this many events have been processed (the runner never
+    /// oversteps: the final round is trimmed to land exactly on the
+    /// budget).
+    MaxEvents(u64),
+    /// Stop at the first round boundary past this wall-clock budget.
+    /// Host-dependent by construction — keep it out of golden runs.
+    MaxWallclock(Duration),
+    /// Stop once the windowed mean forest cost has converged: the
+    /// relative change between consecutive windows stays within
+    /// `epsilon` for `patience` consecutive windows.
+    ConvergedCost {
+        /// Maximum relative change still counted as "settled".
+        epsilon: f64,
+        /// Consecutive settled windows required.
+        patience: usize,
+    },
+}
+
+/// Why a run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The [`Ward::MaxEvents`] budget was reached.
+    MaxEvents,
+    /// The [`Ward::MaxWallclock`] budget was exceeded.
+    MaxWallclock,
+    /// The [`Ward::ConvergedCost`] condition held long enough.
+    Converged,
+    /// [`RunnerHandle::stop`](crate::RunnerHandle::stop) was called.
+    Stopped,
+}
+
+impl StopReason {
+    /// Stable lower-kebab name used in JSONL records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::MaxEvents => "max-events",
+            StopReason::MaxWallclock => "max-wallclock",
+            StopReason::Converged => "converged-cost",
+            StopReason::Stopped => "stopped",
+        }
+    }
+}
+
+/// Evaluates a ward set over the run's progress.
+#[derive(Clone, Debug)]
+pub(crate) struct WardSet {
+    wards: Vec<Ward>,
+    last_mean: Option<f64>,
+    settled: usize,
+}
+
+impl WardSet {
+    pub(crate) fn new(wards: Vec<Ward>) -> WardSet {
+        WardSet {
+            wards,
+            last_mean: None,
+            settled: 0,
+        }
+    }
+
+    /// Events the next round may still process before [`Ward::MaxEvents`]
+    /// trips (`None` = unbounded).
+    pub(crate) fn events_left(&self, done: u64) -> Option<u64> {
+        self.wards
+            .iter()
+            .filter_map(|w| match w {
+                Ward::MaxEvents(max) => Some(max.saturating_sub(done)),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Checks the round-granular wards after `done` events and `elapsed`
+    /// wall-clock time.
+    pub(crate) fn after_round(&self, done: u64, elapsed: Duration) -> Option<StopReason> {
+        for w in &self.wards {
+            match w {
+                Ward::MaxEvents(max) if done >= *max => return Some(StopReason::MaxEvents),
+                Ward::MaxWallclock(budget) if elapsed >= *budget => {
+                    return Some(StopReason::MaxWallclock)
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Feeds one closed window's mean forest cost to the convergence ward.
+    pub(crate) fn after_window(&mut self, mean_cost: f64) -> Option<StopReason> {
+        let (epsilon, patience) = self.wards.iter().find_map(|w| match w {
+            Ward::ConvergedCost { epsilon, patience } => Some((*epsilon, *patience)),
+            _ => None,
+        })?;
+        if let Some(prev) = self.last_mean {
+            let rel = if prev == 0.0 {
+                (mean_cost - prev).abs()
+            } else {
+                ((mean_cost - prev) / prev).abs()
+            };
+            if rel <= epsilon {
+                self.settled += 1;
+            } else {
+                self.settled = 0;
+            }
+        }
+        self.last_mean = Some(mean_cost);
+        (self.settled >= patience).then_some(StopReason::Converged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_events_caps_the_round_budget() {
+        let set = WardSet::new(vec![Ward::MaxEvents(100)]);
+        assert_eq!(set.events_left(0), Some(100));
+        assert_eq!(set.events_left(97), Some(3));
+        assert_eq!(set.events_left(100), Some(0));
+        assert_eq!(set.after_round(99, Duration::ZERO), None);
+        assert_eq!(
+            set.after_round(100, Duration::ZERO),
+            Some(StopReason::MaxEvents)
+        );
+    }
+
+    #[test]
+    fn unbounded_without_a_max_events_ward() {
+        let set = WardSet::new(vec![Ward::MaxWallclock(Duration::from_secs(3600))]);
+        assert_eq!(set.events_left(u64::MAX / 2), None);
+        assert_eq!(set.after_round(1, Duration::from_secs(1)), None);
+        assert_eq!(
+            set.after_round(1, Duration::from_secs(3600)),
+            Some(StopReason::MaxWallclock)
+        );
+    }
+
+    #[test]
+    fn convergence_needs_patience_consecutive_settled_windows() {
+        let mut set = WardSet::new(vec![Ward::ConvergedCost {
+            epsilon: 0.05,
+            patience: 2,
+        }]);
+        assert_eq!(set.after_window(100.0), None); // first window: no pair yet
+        assert_eq!(set.after_window(101.0), None); // settled ×1
+        assert_eq!(set.after_window(150.0), None); // jump resets the streak
+        assert_eq!(set.after_window(151.0), None); // settled ×1
+        assert_eq!(set.after_window(152.0), Some(StopReason::Converged));
+    }
+
+    #[test]
+    fn stop_reasons_have_stable_names() {
+        assert_eq!(StopReason::MaxEvents.as_str(), "max-events");
+        assert_eq!(StopReason::MaxWallclock.as_str(), "max-wallclock");
+        assert_eq!(StopReason::Converged.as_str(), "converged-cost");
+        assert_eq!(StopReason::Stopped.as_str(), "stopped");
+    }
+}

@@ -38,20 +38,42 @@ impl WorkloadParams {
     }
 }
 
-/// Streams random multicast requests over the access nodes `0..n`.
+/// Streams random multicast requests over a pool of access nodes.
 #[derive(Clone, Debug)]
 pub struct RequestStream {
     params: WorkloadParams,
-    access_nodes: usize,
+    pool: Vec<NodeId>,
     rng: Rng64,
 }
 
 impl RequestStream {
-    /// Creates a stream over `access_nodes` access nodes.
+    /// Creates a stream over the access nodes `0..access_nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `access_nodes < 2` (a request needs at least one source
+    /// and one disjoint destination).
     pub fn new(params: WorkloadParams, access_nodes: usize, seed: u64) -> RequestStream {
+        RequestStream::over_pool(params, (0..access_nodes).map(NodeId::new).collect(), seed)
+    }
+
+    /// Creates a stream drawing from an explicit node pool instead of
+    /// `0..n` — e.g. the access nodes of one region of a
+    /// multi-region topology. Draw sequences over the identity pool are
+    /// identical to [`RequestStream::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool holds fewer than 2 nodes.
+    pub fn over_pool(params: WorkloadParams, pool: Vec<NodeId>, seed: u64) -> RequestStream {
+        assert!(
+            pool.len() >= 2,
+            "request stream needs at least 2 pool nodes, got {}",
+            pool.len()
+        );
         RequestStream {
             params,
-            access_nodes,
+            pool,
             rng: Rng64::seed_from(seed),
         }
     }
@@ -59,21 +81,23 @@ impl RequestStream {
     /// Draws the next request. Destinations are drawn first; the source
     /// count is capped by the remaining pool (on SoftLayer the paper's
     /// ranges |S| ≤ 12, |D| ≤ 17 can exceed the 27 access nodes, so the
-    /// sets would otherwise overlap).
+    /// sets would otherwise overlap). Both counts are clamped to at least
+    /// one, so a `(0, k)` range can never produce a viewerless group or
+    /// a sourceless request.
     pub fn next_request(&mut self) -> Request {
+        let n = self.pool.len();
         let d = self
             .rng
             .range(self.params.destinations.0, self.params.destinations.1 + 1)
-            .min(self.access_nodes.saturating_sub(1));
+            .clamp(1, n - 1);
         let s = self
             .rng
             .range(self.params.sources.0, self.params.sources.1 + 1)
-            .min(self.access_nodes - d);
-        assert!(s >= 1, "no room left for sources");
-        let picks = self.rng.sample_indices(self.access_nodes, s + d);
+            .clamp(1, n - d);
+        let picks = self.rng.sample_indices(n, s + d);
         Request::new(
-            picks[..s].iter().map(|&i| NodeId::new(i)).collect(),
-            picks[s..].iter().map(|&i| NodeId::new(i)).collect(),
+            picks[..s].iter().map(|&i| self.pool[i]).collect(),
+            picks[s..].iter().map(|&i| self.pool[i]).collect(),
             ServiceChain::with_len(self.params.chain_len),
         )
     }
@@ -137,7 +161,7 @@ impl ChurnParams {
 pub struct ChurnStream {
     params: ChurnParams,
     current: Request,
-    access_nodes: usize,
+    pool: Vec<NodeId>,
     rng: Rng64,
 }
 
@@ -145,12 +169,20 @@ impl ChurnStream {
     /// Creates a stream over `access_nodes` access nodes; the initial
     /// group is drawn exactly like [`RequestStream`] would.
     pub fn new(params: ChurnParams, access_nodes: usize, seed: u64) -> ChurnStream {
-        let mut base = RequestStream::new(params.base, access_nodes, seed);
+        ChurnStream::over_pool(params, (0..access_nodes).map(NodeId::new).collect(), seed)
+    }
+
+    /// Creates a stream whose viewers come and go within an explicit node
+    /// pool (e.g. one region plus a few roamed-in foreign nodes). Draw
+    /// sequences over the identity pool are identical to
+    /// [`ChurnStream::new`].
+    pub fn over_pool(params: ChurnParams, pool: Vec<NodeId>, seed: u64) -> ChurnStream {
+        let mut base = RequestStream::over_pool(params.base, pool, seed);
         let current = base.next_request();
         ChurnStream {
             params,
             current,
-            access_nodes,
+            pool: base.pool,
             rng: base.rng,
         }
     }
@@ -165,9 +197,20 @@ impl ChurnStream {
         self.params.base.demand_mbps
     }
 
-    /// Applies one churn event and returns the new snapshot: some viewers
-    /// leave (never emptying the group), some join from unused access
-    /// nodes (never colliding with sources or current viewers).
+    /// Applies one churn event and returns the new snapshot.
+    ///
+    /// Pinned semantics, in order:
+    ///
+    /// 1. **Departures first.** Leavers are removed before joiners are
+    ///    drawn, and the leave count is capped at `len − 1` — the group
+    ///    never empties, so every snapshot stays a valid request.
+    /// 2. **Leavers can rejoin.** The free pool is computed *after* the
+    ///    leaves, so a node that departed this event is immediately
+    ///    eligible to join again (a viewer flapping between snapshots).
+    /// 3. **Exhausted pool shrinks the join, never the stream.** When
+    ///    fewer free nodes remain than the drawn join count, the join is
+    ///    capped at the free count (down to zero) — the stream keeps
+    ///    producing snapshots instead of panicking or ending.
     pub fn next_request(&mut self) -> Request {
         let mut dests = self.current.destinations.clone();
         let leave = self
@@ -178,8 +221,10 @@ impl ChurnStream {
             let i = self.rng.range(0, dests.len());
             dests.swap_remove(i);
         }
-        let free: Vec<NodeId> = (0..self.access_nodes)
-            .map(NodeId::new)
+        let free: Vec<NodeId> = self
+            .pool
+            .iter()
+            .copied()
             .filter(|n| !dests.contains(n) && !self.current.sources.contains(n))
             .collect();
         let join = self
@@ -258,6 +303,138 @@ mod tests {
             .collect();
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.destinations, y.destinations);
+        }
+    }
+
+    #[test]
+    fn zero_ranges_never_produce_empty_sides() {
+        // A (0, k) destination or source range used to produce viewerless
+        // groups (rejected downstream by `SofInstance::new`) or trip the
+        // "no room left for sources" assert; both counts now clamp to 1.
+        let params = WorkloadParams {
+            sources: (0, 2),
+            destinations: (0, 3),
+            chain_len: 1,
+            demand_mbps: 1.0,
+        };
+        let mut stream = RequestStream::new(params, 6, 5);
+        for _ in 0..200 {
+            let r = stream.next_request();
+            assert!(!r.sources.is_empty(), "sourceless request");
+            assert!(!r.destinations.is_empty(), "viewerless request");
+        }
+        // Same guarantee at the tightest legal pool (1 source + 1 viewer).
+        let mut tight = RequestStream::new(params, 2, 5);
+        for _ in 0..50 {
+            let r = tight.next_request();
+            assert_eq!(r.sources.len(), 1);
+            assert_eq!(r.destinations.len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 pool nodes")]
+    fn one_node_pool_is_rejected() {
+        RequestStream::new(WorkloadParams::softlayer(), 1, 0);
+    }
+
+    #[test]
+    fn churn_departs_before_arrivals_and_leavers_can_rejoin() {
+        // 4-node pool: 1 source + all 3 remaining nodes are viewers, so
+        // the free pool *before* departures is always empty. With 2
+        // leaves + 2 joins per event the group only holds its size
+        // because joiners are drawn after the leaves (the two leavers
+        // immediately rejoin). If joins were drawn first the group would
+        // shrink to 1 viewer and stay there.
+        let params = ChurnParams {
+            base: WorkloadParams {
+                sources: (1, 1),
+                destinations: (3, 3),
+                chain_len: 1,
+                demand_mbps: 1.0,
+            },
+            leaves: (2, 2),
+            joins: (2, 2),
+        };
+        let mut stream = ChurnStream::new(params, 4, 11);
+        let full: std::collections::BTreeSet<NodeId> =
+            stream.current().destinations.iter().copied().collect();
+        assert_eq!(full.len(), 3);
+        for _ in 0..60 {
+            let r = stream.next_request();
+            let now: std::collections::BTreeSet<NodeId> = r.destinations.iter().copied().collect();
+            assert_eq!(now, full, "leavers must be eligible to rejoin");
+        }
+    }
+
+    #[test]
+    fn churn_survives_exhausted_pool() {
+        // Every non-source node is already a viewer, so the free pool is
+        // empty whenever nobody leaves: the drawn join count caps at 0 and
+        // the stream keeps producing full-size snapshots indefinitely.
+        let params = ChurnParams {
+            base: WorkloadParams {
+                sources: (1, 1),
+                destinations: (5, 5),
+                chain_len: 1,
+                demand_mbps: 1.0,
+            },
+            leaves: (0, 1),
+            joins: (3, 3),
+        };
+        let mut stream = ChurnStream::new(params, 6, 2);
+        assert_eq!(stream.current().destinations.len(), 5);
+        for _ in 0..100 {
+            let r = stream.next_request();
+            // ≤ 1 leave and joins refill from whatever just freed up.
+            assert!((4..=5).contains(&r.destinations.len()));
+            for d in &r.destinations {
+                assert!(!r.sources.contains(d));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_streams_match_identity_pool() {
+        // `over_pool` with the identity pool must replay `new` exactly —
+        // the existing figure presets depend on unchanged draw sequences.
+        let identity: Vec<NodeId> = (0..27).map(NodeId::new).collect();
+        let a: Vec<Request> = RequestStream::new(WorkloadParams::softlayer(), 27, 9)
+            .take(5)
+            .collect();
+        let b: Vec<Request> =
+            RequestStream::over_pool(WorkloadParams::softlayer(), identity.clone(), 9)
+                .take(5)
+                .collect();
+        assert_eq!(a, b);
+        let c: Vec<Request> = ChurnStream::new(ChurnParams::softlayer(), 27, 3)
+            .take(5)
+            .collect();
+        let d: Vec<Request> = ChurnStream::over_pool(ChurnParams::softlayer(), identity, 3)
+            .take(5)
+            .collect();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn pool_streams_only_use_pool_nodes() {
+        let pool: Vec<NodeId> = [40usize, 41, 42, 43, 77, 78, 79].map(NodeId::new).to_vec();
+        let params = ChurnParams {
+            base: WorkloadParams {
+                sources: (1, 2),
+                destinations: (2, 3),
+                chain_len: 2,
+                demand_mbps: 1.0,
+            },
+            leaves: (1, 2),
+            joins: (1, 2),
+        };
+        let mut stream = ChurnStream::over_pool(params, pool.clone(), 4);
+        for _ in 0..40 {
+            let r = stream.next_request();
+            for n in r.sources.iter().chain(r.destinations.iter()) {
+                assert!(pool.contains(n), "{n:?} escaped the pool");
+            }
         }
     }
 

@@ -13,15 +13,16 @@ use crate::report::{
     Section, Table, TableRow,
 };
 use crate::spec::{
-    ChurnSpec, FailureSpec, GridMetric, OnlineGroup, ScenarioSpec, SpecError, Workload,
+    ChurnSpec, FailureSpec, GridMetric, OnlineGroup, ScaleSpec, ScenarioSpec, SpecError, Workload,
 };
 use sof_bench::{ParamField, SweepAxis};
 use sof_core::{
     fortz_thorup, EmbedMode, OnlineSession, Request, ServiceChain, SessionPool, SofInstance, Solver,
 };
 use sof_graph::{Cost, NodeId, Rng64};
+use sof_runner::{CollectSink, JsonlSink, Record, Runner, RunnerConfig, Summary, Ward};
 use sof_sim::{simulate_sessions, ChurnStream, EnvironmentProfile, PlayerConfig, Session};
-use sof_topo::{build_instance, build_named, display_label, Topology};
+use sof_topo::{build_instance, build_named, display_label, RegionsParams, Topology};
 use std::time::Instant;
 
 /// Execution knobs that are not part of the scenario itself.
@@ -103,6 +104,167 @@ pub fn run_spec(spec: &ScenarioSpec, opts: &RunOptions) -> Result<RunReport, Spe
             failures.as_ref(),
             opts,
         ),
+        Workload::ChurnAtScale(s) => run_churn_at_scale(spec, s, opts),
+    }
+}
+
+/// Compiles a churn-at-scale spec into the runner's configuration.
+///
+/// # Errors
+///
+/// [`SpecError`] if the spec fails validation or its workload is not
+/// `churn-at-scale`.
+pub fn runner_config(spec: &ScenarioSpec, opts: &RunOptions) -> Result<RunnerConfig, SpecError> {
+    spec.validate()?;
+    let Workload::ChurnAtScale(s) = &spec.workload else {
+        return Err(SpecError(format!(
+            "runner_config needs a churn-at-scale workload, got '{}'",
+            spec.workload.kind()
+        )));
+    };
+    let mut cfg = RunnerConfig::new(spec.name.clone());
+    cfg.regions = RegionsParams {
+        regions: s.regions.clone(),
+        gateway_links: s.gateway_links,
+        pair_cost: None,
+    };
+    cfg.groups = s.groups;
+    cfg.vms_per_dc = s.vms_per_dc;
+    cfg.setup_scale = spec.params.setup_scale;
+    cfg.churn = s.churn;
+    cfg.solver = s.solver.clone();
+    cfg.sofda = spec.sofda.with_seed(s.seed);
+    cfg.online = spec.online.to_config(s.churn.demand_mbps);
+    cfg.seed = s.seed;
+    cfg.window = s.window;
+    cfg.emit_events = s.emit_events;
+    cfg.timings = opts.timings;
+    cfg.threads = opts.threads;
+    cfg.wards = vec![Ward::MaxEvents(s.events)];
+    if let Some(c) = &s.converge {
+        cfg.wards.push(Ward::ConvergedCost {
+            epsilon: c.epsilon,
+            patience: c.patience,
+        });
+    }
+    if let Some(secs) = s.max_seconds {
+        cfg.wards
+            .push(Ward::MaxWallclock(std::time::Duration::from_secs_f64(secs)));
+    }
+    Ok(cfg)
+}
+
+/// Runs a churn-at-scale spec, streaming every runner record to `out` as
+/// JSON lines the moment it is produced — memory stays O(groups + open
+/// window) no matter how many events the budget allows. Returns the
+/// end-of-run totals (the same numbers as the final `summary` line).
+///
+/// # Errors
+///
+/// [`SpecError`] for invalid specs, non-`churn-at-scale` workloads, and
+/// runner or sink failures.
+pub fn run_churn_stream<W: std::io::Write + Send + 'static>(
+    spec: &ScenarioSpec,
+    opts: &RunOptions,
+    out: W,
+) -> Result<Summary, SpecError> {
+    let cfg = runner_config(spec, opts)?;
+    let mut runner = Runner::new(cfg).map_err(SpecError)?;
+    runner.add_sink(Box::new(JsonlSink::new(out)));
+    runner.run().map_err(SpecError)
+}
+
+/// The `run_spec` path for churn-at-scale: collect the window records and
+/// shape them into a [`RunReport`] (markdown tables, the JSONL report
+/// dialect). The full-scale streaming path is [`run_churn_stream`].
+fn run_churn_at_scale(
+    spec: &ScenarioSpec,
+    s: &ScaleSpec,
+    opts: &RunOptions,
+) -> Result<RunReport, SpecError> {
+    let cfg = runner_config(spec, opts)?;
+    let mut runner = Runner::new(cfg).map_err(SpecError)?;
+    let (sink, records) = CollectSink::new();
+    runner.add_sink(Box::new(sink));
+    let started = Instant::now();
+    let summary = runner.run().map_err(SpecError)?;
+    let secs = started.elapsed().as_secs_f64();
+    let records = records.lock().expect("collect sink");
+    let columns: Vec<String> = [
+        "events",
+        "active",
+        "retired",
+        "errors",
+        "full solves",
+        "incremental",
+        "mean cost",
+        "Σ cost",
+    ]
+    .map(String::from)
+    .to_vec();
+    let mut rows = Vec::new();
+    for record in records.iter() {
+        let Record::Window(w) = record else { continue };
+        rows.push(TableRow {
+            label: w.index.to_string(),
+            x: Some(w.index as f64),
+            cells: vec![
+                Cell::num(Some(w.events as f64), 0),
+                Cell::num(Some(w.active as f64), 0),
+                Cell::num(Some(w.retired as f64), 0),
+                Cell::num(Some(w.errors as f64), 0),
+                Cell::num(Some(w.full_solves as f64), 0),
+                Cell::num(Some(w.incremental as f64), 0),
+                Cell::num(Some(w.mean_cost), 2),
+                Cell::num(Some(w.accumulated_cost), 1),
+            ],
+        });
+    }
+    let extra_rows = vec![
+        summary_row("events", summary.events as f64, false),
+        summary_row("windows", summary.windows as f64, false),
+        summary_row("groups_seen", summary.groups_seen as f64, false),
+        summary_row("retired", summary.retired as f64, false),
+        summary_row("errors", summary.errors as f64, false),
+        summary_row("accumulated_cost", summary.accumulated_cost, false),
+        summary_row("secs", secs, true),
+    ];
+    Ok(RunReport {
+        meta: meta(
+            spec,
+            format!(
+                "{} — {} ({} concurrent groups, {} regions, stop: {})",
+                spec.label,
+                spec.title,
+                s.groups,
+                s.regions.len(),
+                summary.stop.as_str()
+            ),
+            s.seed,
+            1,
+            vec![s.solver.clone()],
+        ),
+        sections: vec![Section {
+            id: "windows".into(),
+            heading: None,
+            table: Some(Table {
+                col0: "window".into(),
+                columns,
+                rows,
+            }),
+            extra_rows,
+            detail: Detail::None,
+        }],
+    })
+}
+
+fn summary_row(metric: &str, value: f64, timing: bool) -> ExtraRow {
+    ExtraRow {
+        x: "summary".into(),
+        col: "run".into(),
+        metric: metric.into(),
+        value: Some(value),
+        timing,
     }
 }
 

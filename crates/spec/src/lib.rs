@@ -65,8 +65,9 @@ pub mod shim;
 mod spec;
 pub mod value;
 
-pub use engine::{run_spec, RunOptions};
+pub use engine::{run_churn_stream, run_spec, runner_config, RunOptions};
 pub use report::{render_markdown, write_jsonl, Detail, ReportMeta, RunReport, Section};
 pub use spec::{
-    ChurnSpec, FailureSpec, GridMetric, OnlineGroup, OnlineSpec, ScenarioSpec, SpecError, Workload,
+    ChurnSpec, ConvergeSpec, FailureSpec, GridMetric, OnlineGroup, OnlineSpec, ScaleSpec,
+    ScenarioSpec, SpecError, Workload,
 };

@@ -18,6 +18,10 @@ pub const PRESETS: &[(&str, &str)] = &[
         "inet-churn-failures",
         include_str!("../specs/inet-churn-failures.toml"),
     ),
+    (
+        "churn-at-scale",
+        include_str!("../specs/churn-at-scale.toml"),
+    ),
 ];
 
 /// The bundled preset names, in evaluation order.

@@ -29,6 +29,12 @@ pub struct Overrides {
     pub nodes: Option<usize>,
     /// Replace every online group's arrival count.
     pub requests: Option<usize>,
+    /// Replace the concurrent-group count (churn-at-scale workloads).
+    pub groups: Option<usize>,
+    /// Replace the event budget (churn-at-scale workloads).
+    pub events: Option<u64>,
+    /// Replace the window size (churn-at-scale workloads).
+    pub window: Option<u64>,
 }
 
 /// Applies generic overrides to a spec (validate afterwards — an override
@@ -40,16 +46,34 @@ pub struct Overrides {
 pub fn apply_overrides(spec: &mut ScenarioSpec, o: &Overrides) -> Vec<&'static str> {
     let mut ignored = Vec::new();
     if let Some(nodes) = o.nodes {
-        spec.topology.nodes = Some(nodes);
+        // Churn-at-scale builds its network from [workload.regions]; the
+        // spec topology is unused there, so resizing it would be a no-op.
+        if matches!(spec.workload, Workload::ChurnAtScale(_)) {
+            ignored.push("nodes");
+        } else {
+            spec.topology.nodes = Some(nodes);
+        }
     }
     if o.requests.is_some() && !matches!(spec.workload, Workload::Online { .. }) {
         ignored.push("requests");
+    }
+    if !matches!(spec.workload, Workload::ChurnAtScale(_)) {
+        for (name, set) in [
+            ("groups", o.groups.is_some()),
+            ("events", o.events.is_some()),
+            ("window", o.window.is_some()),
+        ] {
+            if set {
+                ignored.push(name);
+            }
+        }
     }
     let inapplicable: &[&'static str] = match &spec.workload {
         Workload::CostCurve { .. } => &["seeds", "seed", "limit", "solvers"],
         Workload::Online { .. } => &["seeds", "limit"],
         Workload::Runtime { .. } => &["seeds"],
         Workload::Qoe { .. } => &["limit"],
+        Workload::ChurnAtScale(_) => &["seeds", "limit"],
         Workload::Sweep { .. } | Workload::Grid { .. } => &[],
     };
     for &name in inapplicable {
@@ -161,6 +185,25 @@ pub fn apply_overrides(spec: &mut ScenarioSpec, o: &Overrides) -> Vec<&'static s
                 for g in groups.iter_mut() {
                     g.requests = r;
                 }
+            }
+        }
+        Workload::ChurnAtScale(s) => {
+            if let Some(seed) = o.seed {
+                s.seed = seed;
+            }
+            if let Some(list) = &o.solvers {
+                if let Some(first) = list.first() {
+                    s.solver = first.clone();
+                }
+            }
+            if let Some(g) = o.groups {
+                s.groups = g;
+            }
+            if let Some(e) = o.events {
+                s.events = e;
+            }
+            if let Some(w) = o.window {
+                s.window = w;
             }
         }
     }

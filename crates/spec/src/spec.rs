@@ -9,9 +9,10 @@ use sof_bench::{ParamField, SweepAxis};
 use sof_core::{DriftPolicy, JoinStrategy, OnlineConfig, SofdaConfig};
 use sof_graph::Cost;
 use sof_kstroll::StrollSolver;
+use sof_runner::GroupChurnConfig;
 use sof_sim::{ChurnParams, WorkloadParams};
 use sof_steiner::SteinerSolver;
-use sof_topo::{ScenarioParams, TopologySpec};
+use sof_topo::{RegionDef, ScenarioParams, TopologySpec};
 use std::fmt;
 
 /// A spec-layer error (parse, unknown key, or semantic validation).
@@ -358,6 +359,66 @@ pub struct FailureSpec {
     pub count: usize,
 }
 
+/// Convergence stop condition for churn-at-scale workloads (compiles to
+/// [`sof_runner::Ward::ConvergedCost`]): stop early once the windowed
+/// mean forest cost settles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConvergeSpec {
+    /// Maximum relative change between consecutive windows still counted
+    /// as "settled".
+    pub epsilon: f64,
+    /// Consecutive settled windows required before stopping.
+    pub patience: usize,
+}
+
+/// Configuration of a churn-at-scale workload (compiles to
+/// [`sof_runner::RunnerConfig`]): a [`sof_runner::Runner`] streams a
+/// `SessionPool` of `groups` concurrent multicast groups over lazily
+/// generated viewer-churn timelines until the event budget (or an
+/// optional convergence / wall-clock ward) trips.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaleSpec {
+    /// Run seed: topology, group timelines and instances all derive from
+    /// it.
+    pub seed: u64,
+    /// Solver registry name driving every group's session.
+    pub solver: String,
+    /// Concurrent groups (pool slots; retired groups are replaced in
+    /// place).
+    pub groups: usize,
+    /// Event budget (the `MaxEvents` ward).
+    pub events: u64,
+    /// Events per window record.
+    pub window: u64,
+    /// Also emit one record per event (`emit = "events"`); off by
+    /// default (`emit = "windows"`) — at full scale the per-event stream
+    /// is millions of lines.
+    pub emit_events: bool,
+    /// VMs attached per region data-center node.
+    pub vms_per_dc: usize,
+    /// The named regions of the multi-region network.
+    pub regions: Vec<RegionDef>,
+    /// Gateway links joining every region pair.
+    pub gateway_links: usize,
+    /// Per-group churn-process shape.
+    pub churn: GroupChurnConfig,
+    /// Optional converged-cost early stop.
+    pub converge: Option<ConvergeSpec>,
+    /// Optional wall-clock safety net in seconds (host-dependent — keep
+    /// it out of golden runs).
+    pub max_seconds: Option<f64>,
+}
+
+impl ScaleSpec {
+    fn default_regions() -> Vec<RegionDef> {
+        vec![
+            RegionDef::new("us-east", 8, 2),
+            RegionDef::new("eu-west", 8, 2),
+            RegionDef::new("ap-south", 8, 2),
+        ]
+    }
+}
+
 /// The workload half of a spec: what actually runs.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Workload {
@@ -432,6 +493,9 @@ pub enum Workload {
         /// Optional failure injection.
         failures: Option<FailureSpec>,
     },
+    /// Streaming churn at scale: a `sof_runner` run over lazily generated
+    /// group timelines (10k+ groups, 1M+ events, bounded memory).
+    ChurnAtScale(ScaleSpec),
 }
 
 impl Workload {
@@ -444,6 +508,7 @@ impl Workload {
             Workload::Runtime { .. } => "runtime",
             Workload::Qoe { .. } => "qoe",
             Workload::Online { .. } => "online",
+            Workload::ChurnAtScale(_) => "churn-at-scale",
         }
     }
 
@@ -456,6 +521,7 @@ impl Workload {
             | Workload::Runtime { seed, .. }
             | Workload::Qoe { seed, .. }
             | Workload::Online { seed, .. } => *seed,
+            Workload::ChurnAtScale(s) => s.seed,
         }
     }
 
@@ -843,6 +909,50 @@ impl ScenarioSpec {
                     }
                     if f.count == 0 {
                         return fail("'workload.failures.count' must be at least 1");
+                    }
+                }
+            }
+            Workload::ChurnAtScale(s) => {
+                check_solver("'workload.solver'", &s.solver)?;
+                if s.groups == 0 {
+                    return fail("'workload.groups' must be at least 1");
+                }
+                if s.events == 0 {
+                    return fail("'workload.events' must be at least 1");
+                }
+                if s.window == 0 {
+                    return fail("'workload.window' must be at least 1");
+                }
+                if s.vms_per_dc == 0 {
+                    return fail("'workload.vms_per_dc' must be at least 1");
+                }
+                if s.gateway_links == 0 {
+                    return fail("'workload.gateway_links' must be at least 1");
+                }
+                // Region shape and churn ranges share the runner's own
+                // validators, so the spec layer and `RunnerConfig` can
+                // never disagree on what is legal.
+                sof_topo::RegionsParams {
+                    regions: s.regions.clone(),
+                    gateway_links: s.gateway_links,
+                    pair_cost: None,
+                }
+                .validate()
+                .map_err(|e| SpecError(format!("'workload.regions': {e}")))?;
+                s.churn
+                    .validate()
+                    .map_err(|e| SpecError(format!("'workload.{e}'")))?;
+                if let Some(c) = &s.converge {
+                    if !positive(c.epsilon) {
+                        return fail("'workload.converge.epsilon' must be positive");
+                    }
+                    if c.patience == 0 {
+                        return fail("'workload.converge.patience' must be at least 1");
+                    }
+                }
+                if let Some(secs) = s.max_seconds {
+                    if !positive(secs) {
+                        return fail("'workload.max_seconds' must be positive");
                     }
                 }
             }
@@ -1254,14 +1364,139 @@ fn read_workload(v: &Value) -> Result<Workload, SpecError> {
             r.finish(&["kind", "seed", "solvers", "sessions", "groups", "failures"])?;
             w
         }
+        "churn-at-scale" => {
+            let seed = r.opt_u64("seed")?.unwrap_or(1000);
+            let solver = r.str_or("solver", "SOFDA")?;
+            let groups = r.opt_usize("groups")?.unwrap_or(100);
+            let events = r.opt_u64("events")?.unwrap_or(100_000);
+            let window = r.opt_u64("window")?.unwrap_or(1000);
+            let emit = r.str_or("emit", "windows")?;
+            let emit_events = match emit.as_str() {
+                "windows" => false,
+                "events" => true,
+                other => {
+                    return fail(format!(
+                        "'workload.emit' must be \"windows\" or \"events\", got \"{other}\""
+                    ))
+                }
+            };
+            let vms_per_dc = r.opt_usize("vms_per_dc")?.unwrap_or(1);
+            let gateway_links = r.opt_usize("gateway_links")?.unwrap_or(2);
+            let regions = match r.take_raw("regions") {
+                None => ScaleSpec::default_regions(),
+                Some(Value::Array(items)) => {
+                    let mut regions = Vec::with_capacity(items.len());
+                    for (i, item) in items.iter().enumerate() {
+                        regions.push(read_region(&format!("workload.regions[{i}]"), item)?);
+                    }
+                    regions
+                }
+                Some(other) => {
+                    return fail(format!(
+                        "'workload.regions' must be an array of tables, found {}",
+                        other.type_name()
+                    ))
+                }
+            };
+            let churn = match r.take_raw("churn") {
+                None => GroupChurnConfig::default(),
+                Some(t) => read_scale_churn("workload.churn", t)?,
+            };
+            let converge = match r.take_raw("converge") {
+                None => None,
+                Some(t) => {
+                    let mut cr = Reader::new("workload.converge", t)?;
+                    let c = ConvergeSpec {
+                        epsilon: cr.opt_f64("epsilon")?.unwrap_or(1e-3),
+                        patience: cr.opt_usize("patience")?.unwrap_or(3),
+                    };
+                    cr.finish(&["epsilon", "patience"])?;
+                    Some(c)
+                }
+            };
+            let max_seconds = r.opt_f64("max_seconds")?;
+            let w = Workload::ChurnAtScale(ScaleSpec {
+                seed,
+                solver,
+                groups,
+                events,
+                window,
+                emit_events,
+                vms_per_dc,
+                regions,
+                gateway_links,
+                churn,
+                converge,
+                max_seconds,
+            });
+            r.finish(&[
+                "kind",
+                "seed",
+                "solver",
+                "groups",
+                "events",
+                "window",
+                "emit",
+                "vms_per_dc",
+                "gateway_links",
+                "regions",
+                "churn",
+                "converge",
+                "max_seconds",
+            ])?;
+            w
+        }
         other => {
             return fail(format!(
                 "unknown workload kind '{other}' (expected cost-curve, sweep, grid, runtime, \
-                 qoe, or online)"
+                 qoe, online, or churn-at-scale)"
             ))
         }
     };
     Ok(workload)
+}
+
+fn read_region(ctx: &str, v: &Value) -> Result<RegionDef, SpecError> {
+    let mut r = Reader::new(ctx, v)?;
+    let name = r
+        .opt_str("name")?
+        .ok_or_else(|| SpecError(format!("'{ctx}.name' is required")))?;
+    let nodes = r
+        .opt_usize("nodes")?
+        .ok_or_else(|| SpecError(format!("'{ctx}.nodes' is required")))?;
+    let dcs = r.opt_usize("dcs")?.unwrap_or(1);
+    r.finish(&["name", "nodes", "dcs"])?;
+    Ok(RegionDef { name, nodes, dcs })
+}
+
+fn read_scale_churn(ctx: &str, v: &Value) -> Result<GroupChurnConfig, SpecError> {
+    let mut r = Reader::new(ctx, v)?;
+    let d = GroupChurnConfig::default();
+    let lifetime = match r.opt_range("lifetime")? {
+        Some((lo, hi)) => (lo as u64, hi as u64),
+        None => d.lifetime,
+    };
+    let cfg = GroupChurnConfig {
+        viewers: r.opt_range("viewers")?.unwrap_or(d.viewers),
+        sources: r.opt_range("sources")?.unwrap_or(d.sources),
+        chain_len: r.opt_usize("chain_len")?.unwrap_or(d.chain_len),
+        demand_mbps: r.opt_f64("demand_mbps")?.unwrap_or(d.demand_mbps),
+        leaves: r.opt_range("leaves")?.unwrap_or(d.leaves),
+        joins: r.opt_range("joins")?.unwrap_or(d.joins),
+        lifetime,
+        roam: r.opt_f64("roam")?.unwrap_or(d.roam),
+    };
+    r.finish(&[
+        "viewers",
+        "sources",
+        "chain_len",
+        "demand_mbps",
+        "leaves",
+        "joins",
+        "lifetime",
+        "roam",
+    ])?;
+    Ok(cfg)
 }
 
 // ---------------------------------------------------------------------------
@@ -1453,6 +1688,60 @@ fn workload_value(w: &Workload) -> Value {
                 v.set("failures", fv);
             }
         }
+        Workload::ChurnAtScale(s) => {
+            v.set("seed", Value::Int(s.seed as i64));
+            v.set("solver", Value::Str(s.solver.clone()));
+            v.set("groups", Value::Int(s.groups as i64));
+            v.set("events", Value::Int(s.events as i64));
+            v.set("window", Value::Int(s.window as i64));
+            v.set(
+                "emit",
+                Value::Str(if s.emit_events { "events" } else { "windows" }.into()),
+            );
+            v.set("vms_per_dc", Value::Int(s.vms_per_dc as i64));
+            v.set("gateway_links", Value::Int(s.gateway_links as i64));
+            v.set(
+                "regions",
+                Value::Array(
+                    s.regions
+                        .iter()
+                        .map(|r| {
+                            let mut rv = Value::table();
+                            rv.set("name", Value::Str(r.name.clone()));
+                            rv.set("nodes", Value::Int(r.nodes as i64));
+                            rv.set("dcs", Value::Int(r.dcs as i64));
+                            rv
+                        })
+                        .collect(),
+                ),
+            );
+            let c = &s.churn;
+            let mut cv = Value::table();
+            cv.set("viewers", range_value(c.viewers));
+            cv.set("sources", range_value(c.sources));
+            cv.set("chain_len", Value::Int(c.chain_len as i64));
+            cv.set("demand_mbps", Value::Float(c.demand_mbps));
+            cv.set("leaves", range_value(c.leaves));
+            cv.set("joins", range_value(c.joins));
+            cv.set(
+                "lifetime",
+                Value::Array(vec![
+                    Value::Int(c.lifetime.0 as i64),
+                    Value::Int(c.lifetime.1 as i64),
+                ]),
+            );
+            cv.set("roam", Value::Float(c.roam));
+            v.set("churn", cv);
+            if let Some(conv) = &s.converge {
+                let mut cov = Value::table();
+                cov.set("epsilon", Value::Float(conv.epsilon));
+                cov.set("patience", Value::Int(conv.patience as i64));
+                v.set("converge", cov);
+            }
+            if let Some(secs) = s.max_seconds {
+                v.set("max_seconds", Value::Float(secs));
+            }
+        }
     }
     v
 }
@@ -1625,5 +1914,108 @@ every = 2
         assert_eq!(c.to_params(), ChurnParams::softlayer());
         let c = ChurnSpec::cogent();
         assert_eq!(c.to_params(), ChurnParams::cogent());
+    }
+
+    const SCALE: &str = r#"
+name = "scale-mini"
+label = "Scale"
+title = "churn at scale"
+
+[workload]
+kind = "churn-at-scale"
+seed = 7
+solver = "SOFDA"
+groups = 12
+events = 120
+window = 24
+emit = "events"
+vms_per_dc = 2
+gateway_links = 3
+
+[[workload.regions]]
+name = "us-east"
+nodes = 6
+dcs = 2
+
+[[workload.regions]]
+name = "eu-west"
+nodes = 5
+dcs = 1
+
+[workload.churn]
+viewers = [2, 4]
+sources = [1, 1]
+chain_len = 2
+demand_mbps = 5.0
+leaves = [0, 1]
+joins = [0, 2]
+lifetime = [5, 9]
+roam = 0.5
+
+[workload.converge]
+epsilon = 0.001
+patience = 4
+"#;
+
+    #[test]
+    fn churn_at_scale_parses_and_round_trips() {
+        let spec = ScenarioSpec::from_toml(SCALE).unwrap();
+        let Workload::ChurnAtScale(ref s) = spec.workload else {
+            panic!("expected churn-at-scale");
+        };
+        assert_eq!((s.seed, s.groups, s.events, s.window), (7, 12, 120, 24));
+        assert!(s.emit_events);
+        assert_eq!((s.vms_per_dc, s.gateway_links), (2, 3));
+        assert_eq!(s.regions.len(), 2);
+        assert_eq!(s.regions[1], RegionDef::new("eu-west", 5, 1));
+        assert_eq!(s.churn.viewers, (2, 4));
+        assert_eq!(s.churn.lifetime, (5, 9));
+        assert_eq!(
+            s.converge,
+            Some(ConvergeSpec {
+                epsilon: 0.001,
+                patience: 4
+            })
+        );
+        assert_eq!(s.max_seconds, None);
+        assert_eq!(spec.workload.kind(), "churn-at-scale");
+        assert_eq!(spec.workload.seed(), 7);
+
+        let rewritten = spec.to_toml();
+        let again = ScenarioSpec::from_toml(&rewritten).unwrap();
+        assert_eq!(spec, again, "\n{rewritten}");
+        let json = spec.to_json();
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec, "\n{json}");
+    }
+
+    #[test]
+    fn churn_at_scale_defaults_and_validation() {
+        // A bare table gets the library defaults.
+        let spec = ScenarioSpec::from_toml("name = \"d\"\n[workload]\nkind = \"churn-at-scale\"\n")
+            .unwrap();
+        let Workload::ChurnAtScale(ref s) = spec.workload else {
+            panic!()
+        };
+        assert_eq!((s.groups, s.events, s.window), (100, 100_000, 1000));
+        assert!(!s.emit_events);
+        assert_eq!(s.regions, ScaleSpec::default_regions());
+        assert_eq!(s.churn, GroupChurnConfig::default());
+
+        let err =
+            ScenarioSpec::from_toml(&SCALE.replace("events = 120", "events = 0")).unwrap_err();
+        assert!(err.to_string().contains("'workload.events'"), "{err}");
+        let err = ScenarioSpec::from_toml(&SCALE.replace("emit = \"events\"", "emit = \"all\""))
+            .unwrap_err();
+        assert!(err.to_string().contains("'workload.emit'"), "{err}");
+        let err = ScenarioSpec::from_toml(&SCALE.replace("nodes = 5", "nodes = 2")).unwrap_err();
+        assert!(err.to_string().contains("at least 3 nodes"), "{err}");
+        let err = ScenarioSpec::from_toml(&SCALE.replace("lifetime = [5, 9]", "lifetime = [9, 5]"))
+            .unwrap_err();
+        assert!(err.to_string().contains("lifetime"), "{err}");
+        let err = ScenarioSpec::from_toml(&SCALE.replace("epsilon = 0.001", "epsilon = -1.0"))
+            .unwrap_err();
+        assert!(err.to_string().contains("converge.epsilon"), "{err}");
+        let err = ScenarioSpec::from_toml(&SCALE.replace("roam = 0.5", "roam = 1.5")).unwrap_err();
+        assert!(err.to_string().contains("roam"), "{err}");
     }
 }

@@ -36,6 +36,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod regions;
+
+pub use regions::{
+    build_region_instance, build_regions, RegionDef, RegionScenario, RegionTopology, RegionsParams,
+};
+
 use serde::{Deserialize, Serialize};
 use sof_core::{fortz_thorup, Network, NodeKind, Request, ServiceChain, SofInstance};
 use sof_graph::{Cost, Graph, NodeId, Rng64};

@@ -12,8 +12,10 @@
 
 use sof_spec::shim::{apply_overrides, Overrides};
 use sof_spec::{
-    render_markdown, run_spec, write_jsonl, Detail, RunOptions, RunReport, ScenarioSpec,
+    render_markdown, run_churn_stream, run_spec, write_jsonl, Detail, RunOptions, RunReport,
+    ScenarioSpec, Workload,
 };
+use std::io::Write;
 use std::path::Path;
 use std::process::exit;
 
@@ -34,11 +36,18 @@ Run options:
   --solvers <A,B,...>        override the solver set
   --nodes <N>                resize the topology (inet family only)
   --requests <N>             override every online group's arrival count
+  --groups <N>               override the concurrent-group count (churn-at-scale)
+  --events <N>               override the event budget (churn-at-scale)
+  --window <N>               override the window size (churn-at-scale)
   --threads <N>              worker threads (0 = all cores; overrides SOF_THREADS)
   --timings                  include wall-clock measurements in the JSONL output
 
 Presets are bundled spec files (see `sof list`); anything containing a
 path separator or ending in .toml/.json is read from disk.
+
+churn-at-scale workloads stream their records (meta, windows, optional
+per-event samples, summary) to stdout incrementally in jsonl format —
+memory stays bounded no matter how many events the budget allows.
 
 `sof bench-snapshot` runs a fixed miniature preset set and writes a JSON
 wall-clock snapshot (the `BENCH_*.json` perf trajectory; CI uploads one
@@ -83,6 +92,9 @@ fn override_flag(overrides: &mut Overrides, flag: &str, val: &str) -> bool {
         }
         "--nodes" => overrides.nodes = Some(parse_num(val, flag) as usize),
         "--requests" => overrides.requests = Some(parse_num(val, flag) as usize),
+        "--groups" => overrides.groups = Some(parse_num(val, flag) as usize),
+        "--events" => overrides.events = Some(parse_num(val, flag)),
+        "--window" => overrides.window = Some(parse_num(val, flag)),
         _ => return false,
     }
     true
@@ -102,7 +114,8 @@ fn cmd_run(args: Vec<String>) {
         };
         match arg.as_str() {
             "--format" => format = value("--format"),
-            "--seeds" | "--seed" | "--limit" | "--solvers" | "--nodes" | "--requests" => {
+            "--seeds" | "--seed" | "--limit" | "--solvers" | "--nodes" | "--requests"
+            | "--groups" | "--events" | "--window" => {
                 let v = value(&arg);
                 override_flag(&mut overrides, &arg, &v);
             }
@@ -140,6 +153,24 @@ fn cmd_run(args: Vec<String>) {
     };
     match format.as_str() {
         "jsonl" | "json" => {
+            // churn-at-scale streams: records hit stdout the moment the
+            // runner produces them instead of accumulating a report.
+            if matches!(spec.workload, Workload::ChurnAtScale(_)) {
+                let out = std::io::BufWriter::new(std::io::stdout());
+                match run_churn_stream(&spec, &opts, out) {
+                    Ok(summary) => {
+                        let _ = std::io::stdout().flush();
+                        eprintln!(
+                            "{} events in {} windows, stop: {}",
+                            summary.events,
+                            summary.windows,
+                            summary.stop.as_str()
+                        );
+                    }
+                    Err(e) => fatal(e),
+                }
+                return;
+            }
             let report = match run_spec(&spec, &opts) {
                 Ok(r) => r,
                 Err(e) => fatal(e),
@@ -186,6 +217,11 @@ const BENCH_PRESETS: &[(&str, &str, &str)] = &[
     ("table1-exact", "table1", "--limit 1"),
     ("fig10-inet300", "fig10", "--seeds 1 --limit 1 --nodes 300"),
     ("table2-exact", "table2", "--seeds 2"),
+    (
+        "churn-at-scale",
+        "churn-at-scale",
+        "--groups 200 --events 4000 --window 1000",
+    ),
 ];
 
 /// Sums the `PathEngine` counters over every online session in the
@@ -265,8 +301,24 @@ fn cmd_bench_snapshot(args: Vec<String>) {
         let engine_note = engine
             .map(|(h, m, s, r)| format!("  engine hits {h} / misses {m} / stale {s} / repairs {r}"))
             .unwrap_or_default();
+        // Churn-at-scale entries also report throughput: the event budget
+        // divided by each rep's wall clock.
+        let events_per_sec: Option<Vec<f64>> = match &spec.workload {
+            Workload::ChurnAtScale(s) => Some(
+                wall_ms
+                    .iter()
+                    .map(|ms| s.events as f64 / (ms / 1e3))
+                    .collect(),
+            ),
+            _ => None,
+        };
+        let throughput_note = events_per_sec
+            .as_ref()
+            .and_then(|eps| eps.last())
+            .map(|eps| format!("  {eps:.0} events/s"))
+            .unwrap_or_default();
         eprintln!(
-            "{name:<16} {}{engine_note}",
+            "{name:<16} {}{engine_note}{throughput_note}",
             wall_ms
                 .iter()
                 .map(|ms| format!("{ms:.0} ms"))
@@ -283,9 +335,20 @@ fn cmd_bench_snapshot(args: Vec<String>) {
                 format!(",\"engine\":{{\"hits\":{h},\"misses\":{m},\"stale\":{s},\"repairs\":{r}}}")
             })
             .unwrap_or_default();
+        let throughput_json = events_per_sec
+            .map(|eps| {
+                format!(
+                    ",\"events_per_sec\":[{}]",
+                    eps.iter()
+                        .map(|e| format!("{e:.1}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            })
+            .unwrap_or_default();
         let sep = if i + 1 < BENCH_PRESETS.len() { "," } else { "" };
         entries.push_str(&format!(
-            "    {{\"name\":\"{name}\",\"preset\":\"{preset}\",\"args\":\"{flags}\",\"wall_ms\":[{values}]{engine_json}}}{sep}\n"
+            "    {{\"name\":\"{name}\",\"preset\":\"{preset}\",\"args\":\"{flags}\",\"wall_ms\":[{values}]{engine_json}{throughput_json}}}{sep}\n"
         ));
     }
     let threads_used = sof_par::current_threads();
@@ -309,7 +372,11 @@ fn cmd_list() {
         let spec = sof_spec::presets::preset(name)
             .expect("listed preset exists")
             .expect("bundled presets are valid");
-        println!("  {name:<22} {}", spec.description);
+        println!(
+            "  {name:<22} {:<16} {}",
+            spec.workload.kind(),
+            spec.description
+        );
     }
     println!("\nrun one with `sof run <name>`; validate a file with `sof validate <path>`.");
 }

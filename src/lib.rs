@@ -22,6 +22,10 @@
 //!   named-topology registry specs resolve through,
 //! * [`sim`] — flow-level DES with max-min fairness, video QoE, and the
 //!   online request / viewer-churn workloads,
+//! * [`runner`] — streaming churn-at-scale simulation: a [`runner::Runner`]
+//!   drives a `core::SessionPool` over lazily generated event timelines
+//!   (10k+ groups, millions of events) with pluggable stop wards and
+//!   incremental record sinks, in memory bounded by the live pool,
 //! * [`sdn`] — flow-rule compilation and distributed multi-controller SOFDA,
 //! * [`spec`] — the declarative [`spec::ScenarioSpec`] layer: experiments
 //!   as TOML/JSON files, compiled onto the machinery above, reported as
@@ -116,6 +120,7 @@ pub use sof_exact as exact;
 pub use sof_graph as graph;
 pub use sof_kstroll as kstroll;
 pub use sof_par as par;
+pub use sof_runner as runner;
 pub use sof_sdn as sdn;
 pub use sof_sim as sim;
 pub use sof_solvers as solvers;
