@@ -1,0 +1,186 @@
+//! A hand-rolled HTTP/1.1 subset over [`std::net::TcpStream`] — request
+//! parsing with hard header/body bounds, response writing, keep-alive.
+//!
+//! The daemon carries its own wire layer for the same reason `sof_spec`
+//! carries its own TOML/JSON: the build vendors no real third-party crates.
+//! The subset is exactly what a JSON control plane needs — request line,
+//! `Content-Length`-framed bodies, `Connection` negotiation — and every
+//! violation maps to a status code, never a panic.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request line plus all headers (bytes).
+pub const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The path component, query string stripped.
+    pub path: String,
+    /// Body bytes (`Content-Length`-framed; empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why [`read_request`] produced no request.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean end of stream before any request bytes — the peer hung up
+    /// between requests; not an error.
+    Closed,
+    /// The read timed out mid-request (maps to 408).
+    TimedOut,
+    /// An I/O failure; the connection is unusable.
+    Io(io::Error),
+    /// A protocol violation with the status code to answer before closing.
+    Bad {
+        /// HTTP status to answer with (400 / 413 / 431 / 501).
+        status: u16,
+        /// Human-readable reason, returned verbatim in the error body.
+        message: String,
+    },
+}
+
+fn bad(status: u16, message: impl Into<String>) -> ReadError {
+    ReadError::Bad {
+        status,
+        message: message.into(),
+    }
+}
+
+fn map_io(e: io::Error) -> ReadError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => ReadError::TimedOut,
+        _ => ReadError::Io(e),
+    }
+}
+
+/// Reads one request from the stream, honoring the socket's read timeout
+/// and the `max_body` bound.
+///
+/// # Errors
+///
+/// [`ReadError::Closed`] on clean EOF before the first byte,
+/// [`ReadError::TimedOut`] when the socket timeout expires mid-request,
+/// [`ReadError::Bad`] for protocol violations (the caller answers with the
+/// embedded status and closes), [`ReadError::Io`] otherwise.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    // Head: byte-at-a-time until the blank line, hard-capped. Requests are
+    // small and the OS buffers the socket, so simplicity beats throughput
+    // here; bodies below are read in bulk.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD {
+            return Err(bad(431, "request head exceeds 16 KiB"));
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if head.is_empty() {
+                    return Err(ReadError::Closed);
+                }
+                return Err(bad(400, "connection closed mid-request"));
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) if head.is_empty() && e.kind() == ErrorKind::ConnectionReset => {
+                return Err(ReadError::Closed)
+            }
+            Err(e) => return Err(map_io(e)),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_ascii_uppercase(), t, v),
+        _ => return Err(bad(400, format!("malformed request line '{request_line}'"))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(bad(501, format!("unsupported protocol '{version}'")));
+    }
+    let path = target.split('?').next().unwrap_or("").to_string();
+
+    let mut content_length = 0usize;
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| bad(400, format!("bad Content-Length '{value}'")))?;
+            }
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            "transfer-encoding" => {
+                return Err(bad(
+                    501,
+                    "Transfer-Encoding is not supported; frame bodies with Content-Length",
+                ));
+            }
+            _ => {}
+        }
+    }
+    if content_length > max_body {
+        return Err(bad(
+            413,
+            format!("request body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(map_io)?;
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// The canonical reason phrase for the status codes the daemon uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response. A trailing newline after the body keeps
+/// `curl` output readable without changing any parser's view.
+///
+/// # Errors
+///
+/// Propagates socket write failures; the caller drops the connection.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    json_body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let body = format!("{json_body}\n");
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

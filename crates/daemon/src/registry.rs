@@ -1,0 +1,582 @@
+//! The daemon's state: named topologies, live [`OnlineSession`]s with TTL
+//! bookkeeping, and the counters `/v1/stats` serves.
+//!
+//! One registry sits behind a mutex; handlers lock it for the duration of
+//! one operation. The deterministic core is untouched — a session here is
+//! exactly the library's [`OnlineSession`], addressed by id instead of by
+//! ownership.
+
+use crate::wire::{ApiError, Body};
+use sof_core::{ArrivalReport, OnlineConfig, OnlineSession, Request, ServiceChain, SofdaConfig};
+use sof_graph::{NodeId, PathEngineStats};
+use sof_spec::value::Value;
+use sof_topo::{
+    build_instance, build_named, build_region_instance, build_regions, RegionDef, RegionScenario,
+    RegionTopology, RegionsParams, ScenarioParams, Topology, TopologySpec,
+};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A registered topology: either a named library topology or a built
+/// multi-region network.
+enum Topo {
+    Named(Topology),
+    Regions(RegionTopology),
+}
+
+impl Topo {
+    fn graph(&self) -> &sof_graph::Graph {
+        match self {
+            Topo::Named(t) => &t.graph,
+            Topo::Regions(rt) => &rt.topo.graph,
+        }
+    }
+
+    fn dc_count(&self) -> usize {
+        match self {
+            Topo::Named(t) => t.dc_nodes.len(),
+            Topo::Regions(rt) => rt.topo.dc_nodes.len(),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Topo::Named(_) => "named",
+            Topo::Regions(_) => "regions",
+        }
+    }
+}
+
+/// One live session plus its control-plane bookkeeping.
+struct SessionEntry {
+    topology: String,
+    session: OnlineSession,
+    /// Standing forest cost after the latest operation.
+    last_cost: f64,
+    ttl: Option<Duration>,
+    deadline: Option<Instant>,
+}
+
+impl SessionEntry {
+    fn touch(&mut self, now: Instant) {
+        self.deadline = self.ttl.map(|t| now + t);
+    }
+}
+
+/// Cumulative counters the control plane exposes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaemonStats {
+    /// Requests routed (including failures).
+    pub requests: u64,
+    /// Requests answered with a 4xx/5xx.
+    pub errors: u64,
+    /// Sessions ever created.
+    pub sessions_created: u64,
+    /// Sessions reaped by the janitor.
+    pub sessions_expired: u64,
+    /// Sessions deleted by clients.
+    pub sessions_deleted: u64,
+}
+
+fn add_engine(into: &mut PathEngineStats, s: PathEngineStats) {
+    into.hits += s.hits;
+    into.misses += s.misses;
+    into.stale += s.stale;
+    into.evictions += s.evictions;
+    into.repairs += s.repairs;
+}
+
+/// The daemon's mutable state (topologies, sessions, counters).
+pub struct Registry {
+    topologies: BTreeMap<String, Topo>,
+    sessions: BTreeMap<u64, SessionEntry>,
+    next_id: u64,
+    started: Instant,
+    default_ttl: Option<Duration>,
+    stats: DaemonStats,
+    /// Engine counters of sessions that already left the registry, so
+    /// `/v1/stats` never goes backwards.
+    retired_engine: PathEngineStats,
+}
+
+fn engine_value(s: PathEngineStats) -> Value {
+    let mut v = Value::table();
+    v.set("hits", Value::Int(s.hits as i64));
+    v.set("misses", Value::Int(s.misses as i64));
+    v.set("stale", Value::Int(s.stale as i64));
+    v.set("evictions", Value::Int(s.evictions as i64));
+    v.set("repairs", Value::Int(s.repairs as i64));
+    v
+}
+
+fn nodes_value(nodes: &[NodeId]) -> Value {
+    Value::Array(nodes.iter().map(|n| Value::Int(n.index() as i64)).collect())
+}
+
+fn report_value(id: u64, r: &ArrivalReport) -> Value {
+    let mut v = Value::table();
+    v.set("id", Value::Int(id as i64));
+    v.set("forest_cost", Value::Float(r.forest_cost));
+    v.set("accumulated_cost", Value::Float(r.accumulated_cost));
+    v.set("rebuilt", Value::Bool(r.rebuilt));
+    v.set("joined", Value::Int(r.joined as i64));
+    v.set("left", Value::Int(r.left as i64));
+    v
+}
+
+impl Registry {
+    /// An empty registry. `default_ttl` applies to sessions that pin no
+    /// `ttl_secs` of their own (`None` = sessions never expire).
+    pub fn new(default_ttl: Option<Duration>) -> Registry {
+        Registry {
+            topologies: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            next_id: 1,
+            started: Instant::now(),
+            default_ttl,
+            stats: DaemonStats::default(),
+            retired_engine: PathEngineStats::default(),
+        }
+    }
+
+    /// Counts one routed request (and optionally one error) for
+    /// `/v1/stats`.
+    pub fn count(&mut self, is_error: bool) {
+        self.stats.requests += 1;
+        if is_error {
+            self.stats.errors += 1;
+        }
+    }
+
+    /// Live session count.
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `POST /v1/topologies` — registers a named library topology
+    /// (`{"name", "topology", "nodes"?, "seed"?}`) or a multi-region build
+    /// (`{"name", "regions": [{name, nodes, dcs}…], "gateway_links"?,
+    /// "pair_cost"?, "seed"?}`).
+    ///
+    /// # Errors
+    ///
+    /// 400 for malformed bodies or library-rejected parameters, 409 for a
+    /// duplicate name.
+    pub fn create_topology(&mut self, mut body: Body) -> Result<Value, ApiError> {
+        let name = body.str("name")?;
+        if name.is_empty() {
+            return Err(ApiError::bad_request("'name' must not be empty"));
+        }
+        if self.topologies.contains_key(&name) {
+            return Err(ApiError::conflict(format!(
+                "topology '{name}' already exists"
+            )));
+        }
+        let named = body.opt_str("topology")?;
+        let regions = body.opt_regions("regions")?;
+        let seed = body.opt_u64("seed")?.unwrap_or(7);
+        let topo = match (named, regions) {
+            (Some(reg_name), None) => {
+                let mut spec = TopologySpec::named(reg_name);
+                spec.nodes = body.opt_u64("nodes")?.map(|n| n as usize);
+                body.finish()?;
+                Topo::Named(build_named(&spec, seed).map_err(ApiError::bad_request)?)
+            }
+            (None, Some(regions)) => {
+                let params = RegionsParams {
+                    regions: regions
+                        .into_iter()
+                        .map(|(n, nodes, dcs)| RegionDef::new(n, nodes, dcs))
+                        .collect(),
+                    gateway_links: body.opt_u64("gateway_links")?.unwrap_or(2) as usize,
+                    pair_cost: body.opt_matrix("pair_cost")?,
+                };
+                body.finish()?;
+                params.validate().map_err(ApiError::bad_request)?;
+                Topo::Regions(build_regions(&params, seed).map_err(ApiError::bad_request)?)
+            }
+            (Some(_), Some(_)) => {
+                return Err(ApiError::bad_request(
+                    "give either 'topology' (a registry name) or 'regions', not both",
+                ))
+            }
+            (None, None) => {
+                return Err(ApiError::bad_request(
+                    "missing 'topology' (a registry name) or 'regions' (a multi-region build)",
+                ))
+            }
+        };
+        let mut v = Value::table();
+        v.set("name", Value::Str(name.clone()));
+        v.set("kind", Value::Str(topo.kind().to_string()));
+        v.set("nodes", Value::Int(topo.graph().node_count() as i64));
+        v.set("links", Value::Int(topo.graph().edge_count() as i64));
+        v.set("dcs", Value::Int(topo.dc_count() as i64));
+        self.topologies.insert(name, topo);
+        Ok(v)
+    }
+
+    /// `POST /v1/sessions` — embeds a new group on a registered topology
+    /// and returns the first [`ArrivalReport`]. Body: `{"topology",
+    /// "sources", "destinations", "solver"?, "chain_len"?, "seed"?,
+    /// "vm_count"?, "vms_per_dc"?, "ttl_secs"?}`.
+    ///
+    /// # Errors
+    ///
+    /// 400 for malformed bodies or out-of-range nodes, 404 for an unknown
+    /// topology, 409 when the initial embedding is infeasible.
+    pub fn create_session(&mut self, mut body: Body) -> Result<Value, ApiError> {
+        let topology = body.str("topology")?;
+        let sources: Vec<NodeId> = body
+            .node_list("sources")?
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
+        let destinations: Vec<NodeId> = body
+            .node_list("destinations")?
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
+        let solver_name = body.opt_str("solver")?.unwrap_or_else(|| "SOFDA".into());
+        let chain_len = body.opt_u64("chain_len")?.unwrap_or(2) as usize;
+        let seed = body.opt_u64("seed")?.unwrap_or(0x50F);
+        let vm_count = body.opt_u64("vm_count")?.unwrap_or(25) as usize;
+        let vms_per_dc = body.opt_u64("vms_per_dc")?.unwrap_or(1) as usize;
+        let ttl = match body.opt_u64("ttl_secs")? {
+            None => self.default_ttl,
+            Some(0) => None,
+            Some(secs) => Some(Duration::from_secs(secs)),
+        };
+        body.finish()?;
+
+        if sources.is_empty() || destinations.is_empty() {
+            return Err(ApiError::bad_request(
+                "'sources' and 'destinations' must be non-empty",
+            ));
+        }
+        if sources.iter().any(|s| destinations.contains(s)) {
+            return Err(ApiError::bad_request(
+                "'sources' and 'destinations' must be disjoint",
+            ));
+        }
+        let topo = self.topologies.get(&topology).ok_or_else(|| {
+            ApiError::not_found(format!(
+                "unknown topology '{topology}' (register it via POST /v1/topologies)"
+            ))
+        })?;
+        let access_nodes = topo.graph().node_count();
+        for &n in sources.iter().chain(&destinations) {
+            if n.index() >= access_nodes {
+                return Err(ApiError::bad_request(format!(
+                    "node {} is out of range (topology '{topology}' has {access_nodes} access nodes)",
+                    n.index()
+                )));
+            }
+        }
+        let solver = sof_solvers::by_name(&solver_name).ok_or_else(|| {
+            ApiError::bad_request(format!(
+                "unknown solver '{solver_name}' (try one of {})",
+                sof_solvers::all()
+                    .iter()
+                    .map(|s| s.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+
+        let request = Request::new(
+            sources.clone(),
+            destinations.clone(),
+            ServiceChain::with_len(chain_len),
+        );
+        let instance = match topo {
+            Topo::Named(t) => {
+                // The library builder draws its own placeholder endpoints;
+                // the first `arrive` below replaces them with the request.
+                let params = ScenarioParams {
+                    vm_count,
+                    sources: 1,
+                    destinations: 1,
+                    chain_len,
+                    setup_scale: 1.0,
+                    seed,
+                };
+                build_instance(t, &params)
+            }
+            Topo::Regions(rt) => {
+                let scenario = RegionScenario {
+                    vms_per_dc,
+                    setup_scale: 1.0,
+                    seed,
+                };
+                build_region_instance(rt, &scenario, sources, destinations, chain_len)
+            }
+        };
+        let mut session = OnlineSession::new(
+            instance,
+            solver,
+            SofdaConfig::default(),
+            OnlineConfig::default(),
+        );
+        let report = session
+            .arrive(request)
+            .map_err(|e| ApiError::conflict(format!("initial embedding failed: {e}")))?;
+
+        let id = self.next_id;
+        self.next_id += 1;
+        let now = Instant::now();
+        let mut entry = SessionEntry {
+            topology,
+            session,
+            last_cost: report.forest_cost,
+            ttl,
+            deadline: None,
+        };
+        entry.touch(now);
+        self.sessions.insert(id, entry);
+        self.stats.sessions_created += 1;
+        Ok(report_value(id, &report))
+    }
+
+    fn entry(&mut self, id: u64) -> Result<&mut SessionEntry, ApiError> {
+        self.sessions
+            .get_mut(&id)
+            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))
+    }
+
+    /// `POST /v1/sessions/{id}/join` — adds `{"destination": n}` to the
+    /// served group via the §VII-C incremental join (full rebuild only on
+    /// drift or failure, exactly the library's policy).
+    ///
+    /// # Errors
+    ///
+    /// 404 for an unknown session, 400 for a missing/duplicate
+    /// destination, 409 when re-embedding fails.
+    pub fn session_join(&mut self, id: u64, mut body: Body) -> Result<Value, ApiError> {
+        let destination = NodeId::new(body.u64("destination")? as usize);
+        body.finish()?;
+        let entry = self.entry(id)?;
+        let request = {
+            let req = &entry.session.instance().request;
+            if req.destinations.contains(&destination) {
+                return Err(ApiError::bad_request(format!(
+                    "destination {} is already served by session {id}",
+                    destination.index()
+                )));
+            }
+            let mut dests = req.destinations.clone();
+            dests.push(destination);
+            Request::new(req.sources.clone(), dests, req.chain.clone())
+        };
+        let report = entry
+            .session
+            .arrive(request)
+            .map_err(|e| ApiError::conflict(format!("join failed: {e}")))?;
+        entry.last_cost = report.forest_cost;
+        entry.touch(Instant::now());
+        Ok(report_value(id, &report))
+    }
+
+    /// `POST /v1/sessions/{id}/leave` — removes `{"destination": n}` via
+    /// the incremental leave operation.
+    ///
+    /// # Errors
+    ///
+    /// 404 for an unknown session, 400 when the destination is not served.
+    pub fn session_leave(&mut self, id: u64, mut body: Body) -> Result<Value, ApiError> {
+        let destination = NodeId::new(body.u64("destination")? as usize);
+        body.finish()?;
+        let entry = self.entry(id)?;
+        let cost = entry
+            .session
+            .depart(destination)
+            .map_err(|e| ApiError::bad_request(format!("leave failed: {e}")))?;
+        entry.last_cost = cost;
+        entry.touch(Instant::now());
+        let mut v = Value::table();
+        v.set("id", Value::Int(id as i64));
+        v.set("forest_cost", Value::Float(cost));
+        v.set(
+            "destinations",
+            nodes_value(&entry.session.instance().request.destinations),
+        );
+        Ok(v)
+    }
+
+    /// `POST /v1/sessions/{id}/fail` — injects a VM failure
+    /// (`{"vm": n}`); a disrupted forest rebuilds on the next join.
+    ///
+    /// # Errors
+    ///
+    /// 404 for an unknown session, 400 when the node is not a VM.
+    pub fn session_fail(&mut self, id: u64, mut body: Body) -> Result<Value, ApiError> {
+        let vm = NodeId::new(body.u64("vm")? as usize);
+        body.finish()?;
+        let entry = self.entry(id)?;
+        let disrupted = entry
+            .session
+            .fail_vm(vm)
+            .map_err(|e| ApiError::bad_request(format!("fail failed: {e}")))?;
+        entry.touch(Instant::now());
+        let mut v = Value::table();
+        v.set("id", Value::Int(id as i64));
+        v.set("disrupted", Value::Bool(disrupted));
+        Ok(v)
+    }
+
+    /// `GET /v1/sessions/{id}` — the session's current state and lifetime
+    /// counters. Reading a session renews its TTL.
+    ///
+    /// # Errors
+    ///
+    /// 404 for an unknown session.
+    pub fn session_get(&mut self, id: u64) -> Result<Value, ApiError> {
+        let entry = self.entry(id)?;
+        entry.touch(Instant::now());
+        let stats = *entry.session.stats();
+        let req = &entry.session.instance().request;
+        let mut v = Value::table();
+        v.set("id", Value::Int(id as i64));
+        v.set("topology", Value::Str(entry.topology.clone()));
+        v.set(
+            "solver",
+            Value::Str(entry.session.solver_name().to_string()),
+        );
+        v.set("sources", nodes_value(&req.sources));
+        v.set("destinations", nodes_value(&req.destinations));
+        v.set("chain_len", Value::Int(req.chain.len() as i64));
+        v.set("forest_cost", Value::Float(entry.last_cost));
+        v.set(
+            "accumulated_cost",
+            Value::Float(entry.session.accumulated_cost()),
+        );
+        v.set(
+            "ttl_secs",
+            match entry.ttl {
+                Some(t) => Value::Int(t.as_secs() as i64),
+                None => Value::Null,
+            },
+        );
+        let mut c = Value::table();
+        c.set("arrivals", Value::Int(stats.arrivals as i64));
+        c.set("full_solves", Value::Int(stats.full_solves as i64));
+        c.set("incremental", Value::Int(stats.incremental_events as i64));
+        c.set("joins", Value::Int(stats.joins as i64));
+        c.set("leaves", Value::Int(stats.leaves as i64));
+        c.set("reroutes", Value::Int(stats.reroutes as i64));
+        c.set("fallbacks", Value::Int(stats.fallbacks as i64));
+        c.set("vm_failures", Value::Int(stats.vm_failures as i64));
+        v.set("counters", c);
+        v.set(
+            "engine",
+            engine_value(entry.session.instance().network.paths().stats()),
+        );
+        Ok(v)
+    }
+
+    fn retire(&mut self, entry: SessionEntry) {
+        add_engine(
+            &mut self.retired_engine,
+            entry.session.instance().network.paths().stats(),
+        );
+    }
+
+    /// `DELETE /v1/sessions/{id}` — tears the session down.
+    ///
+    /// # Errors
+    ///
+    /// 404 for an unknown session.
+    pub fn session_delete(&mut self, id: u64) -> Result<Value, ApiError> {
+        let entry = self
+            .sessions
+            .remove(&id)
+            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))?;
+        self.retire(entry);
+        self.stats.sessions_deleted += 1;
+        let mut v = Value::table();
+        v.set("deleted", Value::Int(id as i64));
+        Ok(v)
+    }
+
+    /// Reaps every session whose TTL deadline has passed; returns how many
+    /// were expired. Called by the janitor thread.
+    pub fn expire(&mut self, now: Instant) -> usize {
+        let dead: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, e)| e.deadline.is_some_and(|d| now >= d))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &dead {
+            let entry = self.sessions.remove(id).expect("listed above");
+            self.retire(entry);
+            self.stats.sessions_expired += 1;
+        }
+        dead.len()
+    }
+
+    /// `GET /healthz` — liveness plus the two numbers a probe wants.
+    pub fn healthz(&self) -> Value {
+        let mut v = Value::table();
+        v.set("ok", Value::Bool(true));
+        v.set(
+            "uptime_secs",
+            Value::Float(self.started.elapsed().as_secs_f64()),
+        );
+        v.set("sessions", Value::Int(self.sessions.len() as i64));
+        v
+    }
+
+    /// `GET /v1/stats` — request/error totals, session lifecycle counts,
+    /// aggregated PathEngine counters (live + retired sessions), and a
+    /// per-session cost/counter table.
+    pub fn stats_value(&self) -> Value {
+        let mut v = Value::table();
+        v.set(
+            "uptime_secs",
+            Value::Float(self.started.elapsed().as_secs_f64()),
+        );
+        v.set("requests", Value::Int(self.stats.requests as i64));
+        v.set("errors", Value::Int(self.stats.errors as i64));
+        let mut s = Value::table();
+        s.set("live", Value::Int(self.sessions.len() as i64));
+        s.set("created", Value::Int(self.stats.sessions_created as i64));
+        s.set("expired", Value::Int(self.stats.sessions_expired as i64));
+        s.set("deleted", Value::Int(self.stats.sessions_deleted as i64));
+        v.set("sessions", s);
+        v.set("topologies", Value::Int(self.topologies.len() as i64));
+        let mut engine = self.retired_engine;
+        for entry in self.sessions.values() {
+            add_engine(
+                &mut engine,
+                entry.session.instance().network.paths().stats(),
+            );
+        }
+        v.set("engine", engine_value(engine));
+        v.set(
+            "per_session",
+            Value::Array(
+                self.sessions
+                    .iter()
+                    .map(|(&id, e)| {
+                        let stats = e.session.stats();
+                        let mut p = Value::table();
+                        p.set("id", Value::Int(id as i64));
+                        p.set("topology", Value::Str(e.topology.clone()));
+                        p.set("solver", Value::Str(e.session.solver_name().to_string()));
+                        p.set("forest_cost", Value::Float(e.last_cost));
+                        p.set(
+                            "accumulated_cost",
+                            Value::Float(e.session.accumulated_cost()),
+                        );
+                        p.set("arrivals", Value::Int(stats.arrivals as i64));
+                        p.set("full_solves", Value::Int(stats.full_solves as i64));
+                        p.set("incremental", Value::Int(stats.incremental_events as i64));
+                        p
+                    })
+                    .collect(),
+            ),
+        );
+        v
+    }
+}

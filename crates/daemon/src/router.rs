@@ -1,0 +1,114 @@
+//! Maps `(method, path)` onto [`Registry`] operations.
+//!
+//! Routing never panics the connection thread: handler panics are caught
+//! and answered as 500s, and every malformed request gets a 4xx naming
+//! what was wrong with it.
+
+use crate::http::Request;
+use crate::registry::Registry;
+use crate::wire::{ApiError, Body};
+use sof_spec::value::{write_json, Value};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks the registry, recovering from a poisoned mutex — a panicking
+/// handler must not brick the whole daemon.
+pub fn lock(registry: &Mutex<Registry>) -> MutexGuard<'_, Registry> {
+    registry.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn method_not_allowed(req: &Request, allowed: &str) -> ApiError {
+    ApiError {
+        status: 405,
+        message: format!(
+            "{} is not allowed on {} (use {allowed})",
+            req.method, req.path
+        ),
+    }
+}
+
+fn session_id(seg: &str) -> Result<u64, ApiError> {
+    seg.parse()
+        .map_err(|_| ApiError::bad_request(format!("session id must be an integer, got '{seg}'")))
+}
+
+fn dispatch(
+    registry: &Mutex<Registry>,
+    stop: &AtomicBool,
+    req: &Request,
+) -> Result<Value, ApiError> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = req.method.as_str();
+    match segments.as_slice() {
+        ["healthz"] => match method {
+            "GET" => Ok(lock(registry).healthz()),
+            _ => Err(method_not_allowed(req, "GET")),
+        },
+        ["v1", "stats"] => match method {
+            "GET" => Ok(lock(registry).stats_value()),
+            _ => Err(method_not_allowed(req, "GET")),
+        },
+        ["v1", "topologies"] => match method {
+            "POST" => lock(registry).create_topology(Body::parse(&req.body)?),
+            _ => Err(method_not_allowed(req, "POST")),
+        },
+        ["v1", "sessions"] => match method {
+            "POST" => lock(registry).create_session(Body::parse(&req.body)?),
+            _ => Err(method_not_allowed(req, "POST")),
+        },
+        ["v1", "sessions", id] => {
+            let id = session_id(id)?;
+            match method {
+                "GET" => lock(registry).session_get(id),
+                "DELETE" => lock(registry).session_delete(id),
+                _ => Err(method_not_allowed(req, "GET or DELETE")),
+            }
+        }
+        ["v1", "sessions", id, op @ ("join" | "leave" | "fail")] => {
+            let id = session_id(id)?;
+            if method != "POST" {
+                return Err(method_not_allowed(req, "POST"));
+            }
+            let body = Body::parse(&req.body)?;
+            match *op {
+                "join" => lock(registry).session_join(id, body),
+                "leave" => lock(registry).session_leave(id, body),
+                _ => lock(registry).session_fail(id, body),
+            }
+        }
+        ["v1", "shutdown"] => match method {
+            "POST" => {
+                stop.store(true, Ordering::Release);
+                let mut v = Value::table();
+                v.set("stopping", Value::Bool(true));
+                Ok(v)
+            }
+            _ => Err(method_not_allowed(req, "POST")),
+        },
+        _ => Err(ApiError::not_found(format!(
+            "no route for {} {} (endpoints: /healthz, /v1/stats, /v1/topologies, \
+             /v1/sessions[/{{id}}[/join|leave|fail]], /v1/shutdown)",
+            req.method, req.path
+        ))),
+    }
+}
+
+/// Routes one request and returns `(status, JSON body)`. Handler panics
+/// become 500s; every response is counted in the registry's totals.
+pub fn route(registry: &Mutex<Registry>, stop: &AtomicBool, req: &Request) -> (u16, String) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(registry, stop, req)));
+    let (status, body) = match outcome {
+        Ok(Ok(value)) => (200, write_json(&value)),
+        Ok(Err(e)) => (e.status, e.to_json()),
+        Err(_) => {
+            let e = ApiError {
+                status: 500,
+                message: format!("internal error handling {} {}", req.method, req.path),
+            };
+            (e.status, e.to_json())
+        }
+    };
+    lock(registry).count(status >= 400);
+    (status, body)
+}

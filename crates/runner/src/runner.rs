@@ -106,6 +106,23 @@ impl RunnerConfig {
                 self.solver
             ));
         }
+        for ward in &self.wards {
+            if let Ward::ConvergedCost { epsilon, patience } = ward {
+                // Mirrors the spec layer's 'workload.converge' rules: the
+                // library path through `Runner::new` must reject the same
+                // configurations `ScenarioSpec::validate` does.
+                if !(epsilon.is_finite() && *epsilon > 0.0) {
+                    return Err(format!(
+                        "ConvergedCost ward needs a positive epsilon, got {epsilon}"
+                    ));
+                }
+                if *patience == 0 {
+                    return Err("ConvergedCost ward needs patience of at least 1 \
+                         (patience 0 would stop before two windows were ever compared)"
+                        .into());
+                }
+            }
+        }
         let smallest = self
             .regions
             .regions

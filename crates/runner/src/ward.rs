@@ -57,20 +57,41 @@ impl StopReason {
     }
 }
 
+/// Per-[`Ward::ConvergedCost`] streak state: every convergence ward in a
+/// set is tracked independently, so a strict ward can never be shadowed by
+/// a looser one that happens to come first.
+#[derive(Clone, Copy, Debug)]
+struct ConvergenceState {
+    epsilon: f64,
+    patience: usize,
+    settled: usize,
+}
+
 /// Evaluates a ward set over the run's progress.
 #[derive(Clone, Debug)]
 pub(crate) struct WardSet {
     wards: Vec<Ward>,
+    convergence: Vec<ConvergenceState>,
     last_mean: Option<f64>,
-    settled: usize,
 }
 
 impl WardSet {
     pub(crate) fn new(wards: Vec<Ward>) -> WardSet {
+        let convergence = wards
+            .iter()
+            .filter_map(|w| match w {
+                Ward::ConvergedCost { epsilon, patience } => Some(ConvergenceState {
+                    epsilon: *epsilon,
+                    patience: *patience,
+                    settled: 0,
+                }),
+                _ => None,
+            })
+            .collect();
         WardSet {
             wards,
+            convergence,
             last_mean: None,
-            settled: 0,
         }
     }
 
@@ -101,26 +122,35 @@ impl WardSet {
         None
     }
 
-    /// Feeds one closed window's mean forest cost to the convergence ward.
+    /// Feeds one closed window's mean forest cost to every convergence
+    /// ward. Each ward keeps its own settled streak; the set converges as
+    /// soon as any ward's streak reaches its patience. A ward never trips
+    /// before at least one pair of windows has actually been compared —
+    /// even a (library-constructed) `patience: 0` ward needs one settled
+    /// comparison.
     pub(crate) fn after_window(&mut self, mean_cost: f64) -> Option<StopReason> {
-        let (epsilon, patience) = self.wards.iter().find_map(|w| match w {
-            Ward::ConvergedCost { epsilon, patience } => Some((*epsilon, *patience)),
-            _ => None,
-        })?;
+        if self.convergence.is_empty() {
+            return None;
+        }
         if let Some(prev) = self.last_mean {
             let rel = if prev == 0.0 {
                 (mean_cost - prev).abs()
             } else {
                 ((mean_cost - prev) / prev).abs()
             };
-            if rel <= epsilon {
-                self.settled += 1;
-            } else {
-                self.settled = 0;
+            for state in &mut self.convergence {
+                if rel <= state.epsilon {
+                    state.settled += 1;
+                } else {
+                    state.settled = 0;
+                }
             }
         }
         self.last_mean = Some(mean_cost);
-        (self.settled >= patience).then_some(StopReason::Converged)
+        self.convergence
+            .iter()
+            .any(|s| s.settled >= s.patience.max(1))
+            .then_some(StopReason::Converged)
     }
 }
 
@@ -163,6 +193,66 @@ mod tests {
         assert_eq!(set.after_window(150.0), None); // jump resets the streak
         assert_eq!(set.after_window(151.0), None); // settled ×1
         assert_eq!(set.after_window(152.0), Some(StopReason::Converged));
+    }
+
+    /// Regression: `patience: 0` used to converge on the very first window
+    /// (`settled 0 >= patience 0`) before any two windows had been
+    /// compared. A ward built directly with `patience: 0` must still wait
+    /// for one settled comparison.
+    #[test]
+    fn zero_patience_still_needs_one_settled_comparison() {
+        let mut set = WardSet::new(vec![Ward::ConvergedCost {
+            epsilon: 0.05,
+            patience: 0,
+        }]);
+        assert_eq!(
+            set.after_window(100.0),
+            None,
+            "first window has nothing to compare against"
+        );
+        assert_eq!(set.after_window(101.0), Some(StopReason::Converged));
+    }
+
+    /// Regression: `after_window` used to `find_map` the first
+    /// `ConvergedCost` ward and silently ignore the rest — a loose ward
+    /// listed first could trip while a strict one listed after it had
+    /// never settled, and a strict ward first made a loose one after it
+    /// unreachable. Every convergence ward is tracked independently now.
+    #[test]
+    fn every_convergence_ward_is_tracked_independently() {
+        // Strict first, loose second: the loose ward must still fire.
+        let mut set = WardSet::new(vec![
+            Ward::ConvergedCost {
+                epsilon: 1e-9,
+                patience: 5,
+            },
+            Ward::ConvergedCost {
+                epsilon: 0.5,
+                patience: 1,
+            },
+        ]);
+        assert_eq!(set.after_window(100.0), None);
+        assert_eq!(
+            set.after_window(110.0),
+            Some(StopReason::Converged),
+            "the second (loose) ward settled, even though the first did not"
+        );
+
+        // Loose-but-patient first, tight-and-quick second: a jump resets
+        // both streaks; the quick ward fires first once windows settle.
+        let mut set = WardSet::new(vec![
+            Ward::ConvergedCost {
+                epsilon: 0.5,
+                patience: 4,
+            },
+            Ward::ConvergedCost {
+                epsilon: 0.05,
+                patience: 2,
+            },
+        ]);
+        assert_eq!(set.after_window(100.0), None);
+        assert_eq!(set.after_window(101.0), None); // both settle ×1
+        assert_eq!(set.after_window(102.0), Some(StopReason::Converged));
     }
 
     #[test]

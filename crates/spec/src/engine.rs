@@ -126,7 +126,7 @@ pub fn runner_config(spec: &ScenarioSpec, opts: &RunOptions) -> Result<RunnerCon
     cfg.regions = RegionsParams {
         regions: s.regions.clone(),
         gateway_links: s.gateway_links,
-        pair_cost: None,
+        pair_cost: s.pair_cost.clone(),
     };
     cfg.groups = s.groups;
     cfg.vms_per_dc = s.vms_per_dc;

@@ -22,6 +22,10 @@ pub const PRESETS: &[(&str, &str)] = &[
         "churn-at-scale",
         include_str!("../specs/churn-at-scale.toml"),
     ),
+    (
+        "churn-pair-cost",
+        include_str!("../specs/churn-pair-cost.toml"),
+    ),
 ];
 
 /// The bundled preset names, in evaluation order.

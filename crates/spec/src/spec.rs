@@ -400,6 +400,10 @@ pub struct ScaleSpec {
     pub regions: Vec<RegionDef>,
     /// Gateway links joining every region pair.
     pub gateway_links: usize,
+    /// Explicit symmetric region-pair cost factors (`pair_cost[i][j]`,
+    /// one row per region); `None` uses the line-distance default
+    /// `1 + |i − j|`. Compiles to [`sof_topo::RegionsParams::pair_cost`].
+    pub pair_cost: Option<Vec<Vec<f64>>>,
     /// Per-group churn-process shape.
     pub churn: GroupChurnConfig,
     /// Optional converged-cost early stop.
@@ -929,13 +933,13 @@ impl ScenarioSpec {
                 if s.gateway_links == 0 {
                     return fail("'workload.gateway_links' must be at least 1");
                 }
-                // Region shape and churn ranges share the runner's own
-                // validators, so the spec layer and `RunnerConfig` can
-                // never disagree on what is legal.
+                // Region shape, pair-cost matrix and churn ranges share
+                // the runner's own validators, so the spec layer and
+                // `RunnerConfig` can never disagree on what is legal.
                 sof_topo::RegionsParams {
                     regions: s.regions.clone(),
                     gateway_links: s.gateway_links,
-                    pair_cost: None,
+                    pair_cost: s.pair_cost.clone(),
                 }
                 .validate()
                 .map_err(|e| SpecError(format!("'workload.regions': {e}")))?;
@@ -1398,6 +1402,42 @@ fn read_workload(v: &Value) -> Result<Workload, SpecError> {
                     ))
                 }
             };
+            let pair_cost = match r.take_raw("pair_cost") {
+                None => None,
+                Some(Value::Array(rows)) => {
+                    let mut matrix = Vec::with_capacity(rows.len());
+                    for (i, row) in rows.iter().enumerate() {
+                        let Value::Array(cells) = row else {
+                            return fail(format!(
+                                "'workload.pair_cost[{i}]' must be an array of numbers, found {}",
+                                row.type_name()
+                            ));
+                        };
+                        let mut out = Vec::with_capacity(cells.len());
+                        for (j, cell) in cells.iter().enumerate() {
+                            match cell.as_f64() {
+                                Some(f) => out.push(f),
+                                None => {
+                                    return fail(format!(
+                                        "'workload.pair_cost[{i}][{j}]' must be a number, \
+                                         found {}",
+                                        cell.type_name()
+                                    ))
+                                }
+                            }
+                        }
+                        matrix.push(out);
+                    }
+                    Some(matrix)
+                }
+                Some(other) => {
+                    return fail(format!(
+                        "'workload.pair_cost' must be an array of number rows \
+                         (one per region), found {}",
+                        other.type_name()
+                    ))
+                }
+            };
             let churn = match r.take_raw("churn") {
                 None => GroupChurnConfig::default(),
                 Some(t) => read_scale_churn("workload.churn", t)?,
@@ -1425,6 +1465,7 @@ fn read_workload(v: &Value) -> Result<Workload, SpecError> {
                 vms_per_dc,
                 regions,
                 gateway_links,
+                pair_cost,
                 churn,
                 converge,
                 max_seconds,
@@ -1440,6 +1481,7 @@ fn read_workload(v: &Value) -> Result<Workload, SpecError> {
                 "vms_per_dc",
                 "gateway_links",
                 "regions",
+                "pair_cost",
                 "churn",
                 "converge",
                 "max_seconds",
@@ -1715,6 +1757,16 @@ fn workload_value(w: &Workload) -> Value {
                         .collect(),
                 ),
             );
+            if let Some(m) = &s.pair_cost {
+                v.set(
+                    "pair_cost",
+                    Value::Array(
+                        m.iter()
+                            .map(|row| Value::Array(row.iter().map(|&f| Value::Float(f)).collect()))
+                            .collect(),
+                    ),
+                );
+            }
             let c = &s.churn;
             let mut cv = Value::table();
             cv.set("viewers", range_value(c.viewers));
@@ -2017,5 +2069,71 @@ patience = 4
         assert!(err.to_string().contains("converge.epsilon"), "{err}");
         let err = ScenarioSpec::from_toml(&SCALE.replace("roam = 0.5", "roam = 1.5")).unwrap_err();
         assert!(err.to_string().contains("roam"), "{err}");
+    }
+
+    /// `pair_cost` was a dead config path: implemented and validated in
+    /// `sof_topo::RegionsParams` but unreachable from any spec. It now
+    /// parses strictly, surfaces the library validators verbatim, and
+    /// round-trips losslessly.
+    #[test]
+    fn churn_at_scale_pair_cost_parses_validates_and_round_trips() {
+        let with = |matrix: &str| {
+            SCALE.replace(
+                "gateway_links = 3",
+                &format!("gateway_links = 3\npair_cost = {matrix}"),
+            )
+        };
+
+        // Default: absent means the line-distance fallback.
+        let spec = ScenarioSpec::from_toml(SCALE).unwrap();
+        let Workload::ChurnAtScale(ref s) = spec.workload else {
+            panic!()
+        };
+        assert_eq!(s.pair_cost, None);
+
+        // An explicit symmetric matrix (ints coerce to floats) parses and
+        // survives both wire formats byte-for-value.
+        let spec = ScenarioSpec::from_toml(&with("[[1, 2.5], [2.5, 1]]")).unwrap();
+        let Workload::ChurnAtScale(ref s) = spec.workload else {
+            panic!()
+        };
+        assert_eq!(s.pair_cost, Some(vec![vec![1.0, 2.5], vec![2.5, 1.0]]));
+        let rewritten = spec.to_toml();
+        assert_eq!(
+            ScenarioSpec::from_toml(&rewritten).unwrap(),
+            spec,
+            "\n{rewritten}"
+        );
+        let json = spec.to_json();
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec, "\n{json}");
+
+        // Malformed values are rejected with the exact offending path.
+        let err = ScenarioSpec::from_toml(&with("3")).unwrap_err();
+        assert!(err.to_string().contains("'workload.pair_cost'"), "{err}");
+        let err = ScenarioSpec::from_toml(&with("[[1.0, 2.0], 7]")).unwrap_err();
+        assert!(err.to_string().contains("'workload.pair_cost[1]'"), "{err}");
+        let err = ScenarioSpec::from_toml(&with("[[1.0, \"x\"], [2.0, 1.0]]")).unwrap_err();
+        assert!(
+            err.to_string().contains("'workload.pair_cost[0][1]'"),
+            "{err}"
+        );
+
+        // Shape and symmetry violations surface the `RegionsParams`
+        // validator messages verbatim under the workload.regions prefix.
+        let err = ScenarioSpec::from_toml(&with("[[1.0, 2.0]]")).unwrap_err();
+        assert!(
+            err.to_string().contains("pair_cost must be a 2×2 matrix"),
+            "{err}"
+        );
+        let err = ScenarioSpec::from_toml(&with("[[1.0, 2.0], [3.0, 1.0]]")).unwrap_err();
+        assert!(
+            err.to_string().contains("pair_cost must be symmetric"),
+            "{err}"
+        );
+        let err = ScenarioSpec::from_toml(&with("[[1.0, -2.0], [-2.0, 1.0]]")).unwrap_err();
+        assert!(
+            err.to_string().contains("pair_cost[0][1] must be positive"),
+            "{err}"
+        );
     }
 }

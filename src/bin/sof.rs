@@ -26,6 +26,9 @@ Usage:
   sof list
   sof validate <preset|file>... | --all
   sof bench-snapshot [--out FILE] [--reps N] [--threads N]
+  sof serve [--addr HOST:PORT] [--ttl-secs N] [--stdin]
+  sof serve-bench [--addr HOST:PORT] [--connections N] [--requests N]
+                  [--reps N] [--out FILE] [--shutdown]
   sof help
 
 Run options:
@@ -51,7 +54,21 @@ memory stays bounded no matter how many events the budget allows.
 
 `sof bench-snapshot` runs a fixed miniature preset set and writes a JSON
 wall-clock snapshot (the `BENCH_*.json` perf trajectory; CI uploads one
-per run and diffs it against the committed snapshot).";
+per run and diffs it against the committed snapshot).
+
+`sof serve` runs sofd, the long-running embedding daemon: a JSON control
+plane over HTTP/1.1 (see docs/DAEMON.md). It prints the bound address,
+then serves until POST /v1/shutdown arrives; --ttl-secs gives sessions a
+default idle TTL the janitor enforces (0 = never), and --stdin also stops
+the daemon when stdin reaches EOF (for supervisors holding a pipe —
+unsafe as a default, since a backgrounded daemon's stdin is often
+/dev/null, which is EOF immediately).
+
+`sof serve-bench` drives a daemon with a closed-loop client (N keep-alive
+connections cycling create/join/leave/delete) and reports requests/sec
+plus p50/p99 latency. Without --addr it benches an in-process daemon on
+an ephemeral port; --shutdown posts /v1/shutdown afterwards (the CI smoke
+job uses both against a backgrounded `sof serve`).";
 
 fn fatal(msg: impl std::fmt::Display) -> ! {
     eprintln!("error: {msg}");
@@ -273,7 +290,7 @@ fn cmd_bench_snapshot(args: Vec<String>) {
         legacy_notes: false,
     };
     let mut entries = String::new();
-    for (i, &(name, preset, flags)) in BENCH_PRESETS.iter().enumerate() {
+    for &(name, preset, flags) in BENCH_PRESETS {
         let mut spec = load_spec(preset);
         let mut overrides = Overrides::default();
         let mut flag_it = flags.split_whitespace();
@@ -346,14 +363,212 @@ fn cmd_bench_snapshot(args: Vec<String>) {
                 )
             })
             .unwrap_or_default();
-        let sep = if i + 1 < BENCH_PRESETS.len() { "," } else { "" };
         entries.push_str(&format!(
-            "    {{\"name\":\"{name}\",\"preset\":\"{preset}\",\"args\":\"{flags}\",\"wall_ms\":[{values}]{engine_json}{throughput_json}}}{sep}\n"
+            "    {{\"name\":\"{name}\",\"preset\":\"{preset}\",\"args\":\"{flags}\",\"wall_ms\":[{values}]{engine_json}{throughput_json}}},\n"
+        ));
+    }
+    // The daemon rides the same trajectory: a closed-loop client against
+    // an in-process `sofd` on an ephemeral port, so requests/sec joins
+    // the wall-clock series.
+    {
+        let handle = match sof_daemon::Server::start(sof_daemon::ServerConfig::default()) {
+            Ok(h) => h,
+            Err(e) => fatal(format!("daemon bench: bind failed: {e}")),
+        };
+        let opts = sof_daemon::BenchOptions {
+            connections: 4,
+            requests: 400,
+        };
+        if let Err(e) = sof_daemon::register_bench_topology(handle.addr()) {
+            fatal(format!("daemon bench: {e}"));
+        }
+        let mut wall_ms = Vec::with_capacity(reps);
+        let mut req_per_sec = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            match sof_daemon::run_bench(handle.addr(), opts) {
+                Ok(r) => {
+                    wall_ms.push(r.wall_ms);
+                    req_per_sec.push(r.requests_per_sec);
+                }
+                Err(e) => fatal(format!("daemon bench: {e}")),
+            }
+        }
+        handle.stop();
+        eprintln!(
+            "{:<16} {}  {:.0} req/s",
+            "daemon-serve",
+            wall_ms
+                .iter()
+                .map(|ms| format!("{ms:.0} ms"))
+                .collect::<Vec<_>>()
+                .join("  "),
+            req_per_sec.last().copied().unwrap_or(0.0),
+        );
+        entries.push_str(&format!(
+            "    {{\"name\":\"daemon-serve\",\"preset\":\"serve-bench\",\"args\":\"--connections 4 --requests 400\",\"wall_ms\":[{}],\"requests_per_sec\":[{}]}}\n",
+            wall_ms
+                .iter()
+                .map(|ms| format!("{ms:.1}"))
+                .collect::<Vec<_>>()
+                .join(","),
+            req_per_sec
+                .iter()
+                .map(|r| format!("{r:.1}"))
+                .collect::<Vec<_>>()
+                .join(","),
         ));
     }
     let threads_used = sof_par::current_threads();
     let json = format!(
         "{{\n  \"kind\": \"sof-bench-snapshot\",\n  \"threads\": {threads_used},\n  \"reps\": {reps},\n  \"entries\": [\n{entries}  ]\n}}\n"
+    );
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                fatal(format!("writing {path}: {e}"));
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}
+
+fn parse_daemon_addr(raw: &str) -> std::net::SocketAddr {
+    let trimmed = raw.strip_prefix("http://").unwrap_or(raw);
+    let trimmed = trimmed.trim_end_matches('/');
+    trimmed
+        .parse()
+        .unwrap_or_else(|_| fatal(format!("invalid daemon address '{raw}' (want HOST:PORT)")))
+}
+
+fn cmd_serve(args: Vec<String>) {
+    let mut config = sof_daemon::ServerConfig {
+        addr: "127.0.0.1:8080".into(),
+        ..sof_daemon::ServerConfig::default()
+    };
+    let mut watch_stdin = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fatal(format!("flag '{flag}' is missing its value")))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--ttl-secs" => {
+                let secs = parse_num(&value("--ttl-secs"), "--ttl-secs");
+                config.default_ttl = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+            }
+            "--stdin" => watch_stdin = true,
+            other => fatal(format!("unknown flag '{other}' for serve")),
+        }
+    }
+    let handle = match sof_daemon::Server::start(config) {
+        Ok(h) => h,
+        Err(e) => fatal(format!("bind failed: {e}")),
+    };
+    // The address line goes to stdout so scripts can capture the resolved
+    // ephemeral port; everything else is stderr commentary.
+    println!("listening on {}", handle.base_url());
+    let _ = std::io::stdout().flush();
+    if watch_stdin {
+        eprintln!("stop with POST /v1/shutdown or by closing stdin");
+        // Opt-in only: a backgrounded daemon's stdin is usually /dev/null,
+        // which reads as EOF immediately and would stop it at startup.
+        let stop = handle.stop_signal();
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut sink = [0u8; 1024];
+            let mut stdin = std::io::stdin();
+            while !matches!(stdin.read(&mut sink), Ok(0) | Err(_)) {}
+            stop.store(true, std::sync::atomic::Ordering::Release);
+        });
+    } else {
+        eprintln!("stop with POST /v1/shutdown");
+    }
+    while !handle.stop_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    handle.stop();
+    eprintln!("shutdown complete");
+}
+
+fn cmd_serve_bench(args: Vec<String>) {
+    let mut addr: Option<String> = None;
+    let mut opts = sof_daemon::BenchOptions::default();
+    let mut reps = 1usize;
+    let mut out: Option<String> = None;
+    let mut shutdown = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fatal(format!("flag '{flag}' is missing its value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--connections" => {
+                opts.connections = parse_num(&value("--connections"), "--connections") as usize;
+            }
+            "--requests" => opts.requests = parse_num(&value("--requests"), "--requests") as usize,
+            "--reps" => reps = parse_num(&value("--reps"), "--reps") as usize,
+            "--out" => out = Some(value("--out")),
+            "--shutdown" => shutdown = true,
+            other => fatal(format!("unknown flag '{other}' for serve-bench")),
+        }
+    }
+    if reps == 0 {
+        fatal("--reps must be at least 1");
+    }
+    // Without --addr, bench an in-process daemon on an ephemeral port.
+    let (target, local) = match &addr {
+        Some(a) => (parse_daemon_addr(a), None),
+        None => {
+            let handle = match sof_daemon::Server::start(sof_daemon::ServerConfig::default()) {
+                Ok(h) => h,
+                Err(e) => fatal(format!("bind failed: {e}")),
+            };
+            (handle.addr(), Some(handle))
+        }
+    };
+    if let Err(e) = sof_daemon::register_bench_topology(target) {
+        fatal(format!("daemon at {target}: {e}"));
+    }
+    let mut entries = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        match sof_daemon::run_bench(target, opts) {
+            Ok(report) => {
+                eprintln!(
+                    "{} requests over {} connections in {:.0} ms: {:.0} req/s, \
+                     p50 {:.2} ms, p99 {:.2} ms, {} errors",
+                    report.requests,
+                    report.connections,
+                    report.wall_ms,
+                    report.requests_per_sec,
+                    report.p50_ms,
+                    report.p99_ms,
+                    report.errors,
+                );
+                entries.push(report.to_json());
+            }
+            Err(e) => fatal(format!("bench against {target}: {e}")),
+        }
+    }
+    if shutdown {
+        let mut client = sof_daemon::Client::new(target);
+        if let Err(e) = client.request("POST", "/v1/shutdown", "") {
+            fatal(format!("posting /v1/shutdown to {target}: {e}"));
+        }
+        eprintln!("posted /v1/shutdown to {target}");
+    }
+    if let Some(handle) = local {
+        handle.stop();
+    }
+    let json = format!(
+        "{{\n  \"kind\": \"sof-serve-bench\",\n  \"connections\": {},\n  \"requests\": {},\n  \"reps\": {reps},\n  \"entries\": [\n    {}\n  ]\n}}\n",
+        opts.connections,
+        opts.requests,
+        entries.join(",\n    "),
     );
     match out {
         Some(path) => {
@@ -449,6 +664,8 @@ fn main() {
         "list" => cmd_list(),
         "validate" => cmd_validate(args),
         "bench-snapshot" => cmd_bench_snapshot(args),
+        "serve" => cmd_serve(args),
+        "serve-bench" => cmd_serve_bench(args),
         "help" | "--help" | "-h" => println!("{USAGE}"),
         other => fatal(format!("unknown command '{other}' (try `sof help`)")),
     }

@@ -27,6 +27,10 @@
 //!   (10k+ groups, millions of events) with pluggable stop wards and
 //!   incremental record sinks, in memory bounded by the live pool,
 //! * [`sdn`] — flow-rule compilation and distributed multi-controller SOFDA,
+//! * [`daemon`] — `sofd`, the long-running embedding service: a
+//!   dependency-free HTTP/1.1 control plane (`sof serve`) over
+//!   [`core::OnlineSession`] with TTL'd sessions, a janitor thread, and
+//!   `/v1/stats` observability,
 //! * [`spec`] — the declarative [`spec::ScenarioSpec`] layer: experiments
 //!   as TOML/JSON files, compiled onto the machinery above, reported as
 //!   structured [`spec::RunReport`] JSON lines (the `sof` CLI front end).
@@ -116,6 +120,7 @@
 
 pub use sof_baselines as baselines;
 pub use sof_core as core;
+pub use sof_daemon as daemon;
 pub use sof_exact as exact;
 pub use sof_graph as graph;
 pub use sof_kstroll as kstroll;

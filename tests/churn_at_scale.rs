@@ -137,6 +137,29 @@ fn converged_cost_ward_stops_early() {
     );
 }
 
+/// Regression: the spec layer has always rejected `converge.patience = 0`,
+/// but the library path through `Runner::new` accepted it — and the old
+/// `WardSet` then stopped the run on its very first window, before two
+/// windows had ever been compared. The library now rejects it too.
+#[test]
+fn runner_config_rejects_zero_patience_convergence_ward() {
+    let mut cfg = RunnerConfig::new("patience-zero");
+    cfg.wards.push(Ward::ConvergedCost {
+        epsilon: 0.01,
+        patience: 0,
+    });
+    let err = Runner::new(cfg).err().expect("patience 0 must be rejected");
+    assert!(err.contains("patience"), "{err}");
+
+    let mut cfg = RunnerConfig::new("bad-epsilon");
+    cfg.wards.push(Ward::ConvergedCost {
+        epsilon: 0.0,
+        patience: 2,
+    });
+    let err = Runner::new(cfg).err().expect("epsilon 0 must be rejected");
+    assert!(err.contains("epsilon"), "{err}");
+}
+
 /// A wardless runner on a background thread streams records until
 /// [`sof::runner::RunnerHandle::stop`] ends it at a round boundary.
 #[test]

@@ -1,0 +1,267 @@
+//! Integration tests for `sofd`, the embedding daemon: the full wire
+//! round trip on an ephemeral port, malformed-request 4xx behavior,
+//! janitor TTL expiry, and graceful shutdown with an in-flight request.
+
+use sof::daemon::{Client, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn start(config: ServerConfig) -> sof::daemon::ServerHandle {
+    Server::start(config).expect("bind 127.0.0.1:0")
+}
+
+const BENCH_TOPO: &str = r#"{"name":"t","regions":[
+  {"name":"us-east","nodes":6,"dcs":2},
+  {"name":"eu-west","nodes":6,"dcs":2}
+],"gateway_links":2,"seed":7}"#;
+
+const SESSION: &str = r#"{"topology":"t","sources":[0],"destinations":[3,9],
+  "chain_len":2,"seed":11,"ttl_secs":0}"#;
+
+/// The embed → join → leave → fail → stats → delete round trip, all over
+/// real HTTP on an ephemeral port.
+#[test]
+fn wire_round_trip() {
+    let handle = start(ServerConfig::default());
+    let mut c = Client::new(handle.addr());
+
+    let (status, body) = c.request("GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ok\":true"), "{body}");
+
+    let (status, body) = c.request("POST", "/v1/topologies", BENCH_TOPO).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"kind\":\"regions\""), "{body}");
+    // Duplicate names conflict.
+    let (status, body) = c.request("POST", "/v1/topologies", BENCH_TOPO).unwrap();
+    assert_eq!(status, 409, "{body}");
+
+    let (status, body) = c.request("POST", "/v1/sessions", SESSION).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"id\":1"), "{body}");
+    assert!(body.contains("\"rebuilt\":true"), "{body}");
+
+    // Join is served incrementally (§VII-C), not by a rebuild.
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/join", "{\"destination\":5}")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"rebuilt\":false"), "{body}");
+    assert!(body.contains("\"joined\":1"), "{body}");
+    // Joining a destination twice is a client error.
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/join", "{\"destination\":5}")
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/leave", "{\"destination\":5}")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"destinations\":[3,9]"), "{body}");
+
+    // A VM failure on a non-VM node is a 400 with the library's message.
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/fail", "{\"vm\":0}")
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("not a VM"), "{body}");
+    // Access nodes 0..12 come first, then the VMs (one per DC).
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/fail", "{\"vm\":12}")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"disrupted\""), "{body}");
+
+    let (status, body) = c.request("GET", "/v1/sessions/1", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"solver\":\"SOFDA\""), "{body}");
+    assert!(body.contains("\"vm_failures\":1"), "{body}");
+
+    let (status, body) = c.request("GET", "/v1/stats", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"live\":1"), "{body}");
+    assert!(body.contains("\"engine\":"), "{body}");
+    assert!(body.contains("\"per_session\":"), "{body}");
+
+    let (status, body) = c.request("DELETE", "/v1/sessions/1", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (status, _) = c.request("GET", "/v1/sessions/1", "").unwrap();
+    assert_eq!(status, 404);
+
+    // The stats survive the deletion and count every request so far.
+    let (status, body) = c.request("GET", "/v1/stats", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"deleted\":1"), "{body}");
+
+    handle.stop();
+}
+
+/// Every malformed request gets an actionable 4xx, never a dropped
+/// connection or a panic.
+#[test]
+fn malformed_requests_get_4xx() {
+    let handle = start(ServerConfig {
+        max_body: 256,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::new(handle.addr());
+
+    // Not JSON at all.
+    let (status, body) = c.request("POST", "/v1/sessions", "{nope").unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("not JSON"), "{body}");
+    // JSON, but not an object.
+    let (status, body) = c.request("POST", "/v1/sessions", "[1,2]").unwrap();
+    assert_eq!(status, 400, "{body}");
+    // Missing required fields name the field.
+    let (status, body) = c.request("POST", "/v1/sessions", "{}").unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("'topology'"), "{body}");
+    // Unknown fields are rejected, not ignored.
+    let (status, body) = c
+        .request(
+            "POST",
+            "/v1/topologies",
+            r#"{"name":"x","topology":"testbed","seeds":1}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("'seeds'"), "{body}");
+    // Unknown topology registry names list the valid ones.
+    let (status, body) = c
+        .request(
+            "POST",
+            "/v1/topologies",
+            r#"{"name":"x","topology":"fatlayer"}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("softlayer"), "{body}");
+    // An invalid pair_cost matrix surfaces the library validator verbatim.
+    let bad = r#"{"name":"x","regions":[{"name":"a","nodes":4,"dcs":1},
+        {"name":"b","nodes":4,"dcs":1}],"pair_cost":[[1.0,2.0],[3.0,1.0]]}"#;
+    let (status, body) = c.request("POST", "/v1/topologies", bad).unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("pair_cost must be symmetric"), "{body}");
+    // Unknown routes 404 with the endpoint list; wrong methods 405.
+    let (status, body) = c.request("GET", "/v2/nope", "").unwrap();
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("/v1/sessions"), "{body}");
+    let (status, body) = c.request("PATCH", "/healthz", "").unwrap();
+    assert_eq!(status, 405, "{body}");
+    // Session ids must be integers; unknown ids are 404s.
+    let (status, body) = c.request("GET", "/v1/sessions/abc", "").unwrap();
+    assert_eq!(status, 400, "{body}");
+    let (status, _) = c.request("GET", "/v1/sessions/99", "").unwrap();
+    assert_eq!(status, 404);
+    // Oversized bodies get a 413 naming the limit.
+    let huge = format!(r#"{{"topology":"{}"}}"#, "x".repeat(512));
+    let (status, body) = c.request("POST", "/v1/sessions", &huge).unwrap();
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("256-byte limit"), "{body}");
+
+    // All of the above counted as errors, and the daemon still serves.
+    let (status, body) = c.request("GET", "/v1/stats", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"errors\":11"), "{body}");
+    handle.stop();
+}
+
+/// The janitor expires idle sessions past their TTL; touched sessions
+/// live on.
+#[test]
+fn janitor_expires_idle_sessions() {
+    let handle = start(ServerConfig {
+        default_ttl: Some(Duration::from_millis(300)),
+        janitor_period: Duration::from_millis(50),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::new(handle.addr());
+    c.request("POST", "/v1/topologies", BENCH_TOPO).unwrap();
+    // ttl_secs omitted → the server default applies.
+    let body = r#"{"topology":"t","sources":[0],"destinations":[3,9],"seed":11}"#;
+    let (status, resp) = c.request("POST", "/v1/sessions", body).unwrap();
+    assert_eq!(status, 200, "{resp}");
+
+    // Idle past the TTL: the janitor reaps it.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        let (_, stats) = c.request("GET", "/v1/stats", "").unwrap();
+        if stats.contains("\"expired\":1") {
+            assert!(stats.contains("\"live\":0"), "{stats}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "janitor never expired: {stats}");
+    }
+    let (status, _) = c.request("GET", "/v1/sessions/1", "").unwrap();
+    assert_eq!(status, 404);
+
+    // A ttl_secs of 0 opts out of expiry entirely.
+    let immortal = r#"{"topology":"t","sources":[0],"destinations":[3,9],"seed":12,"ttl_secs":0}"#;
+    let (status, resp) = c.request("POST", "/v1/sessions", immortal).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    std::thread::sleep(Duration::from_millis(700));
+    let (status, _) = c.request("GET", "/v1/sessions/2", "").unwrap();
+    assert_eq!(status, 200, "session with ttl_secs 0 must not expire");
+    handle.stop();
+}
+
+/// Graceful shutdown drains in-flight requests: a request already written
+/// to the socket when `stop` begins still gets its complete response.
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    stream.flush().unwrap();
+
+    // Stop the daemon while the request is in flight. `stop` joins the
+    // accept loop, which joins every connection thread — so it cannot
+    // return until our request has been answered.
+    let stopper = std::thread::spawn(move || handle.stop());
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    stopper.join().unwrap();
+
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("\"ok\":true"), "{response}");
+
+    // The daemon is actually gone: new connections are refused (or reset
+    // at the first read on lingering backlog accepts).
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut s) => {
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+            let mut buf = String::new();
+            assert_eq!(
+                s.read_to_string(&mut buf).unwrap_or(0),
+                0,
+                "daemon answered after shutdown: {buf}"
+            );
+        }
+    }
+}
+
+/// `POST /v1/shutdown` flips the stop flag the serving loop watches.
+#[test]
+fn shutdown_endpoint_requests_stop() {
+    let handle = start(ServerConfig::default());
+    let mut c = Client::new(handle.addr());
+    assert!(!handle.stop_requested());
+    let (status, body) = c.request("POST", "/v1/shutdown", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"stopping\":true"), "{body}");
+    assert!(handle.stop_requested());
+    handle.stop();
+}
