@@ -286,6 +286,112 @@ pub fn destination_join_with(
     Ok(added)
 }
 
+/// Survivability variant of a tail-attach join: plans (without applying) a
+/// replacement walk for destination `d` that attaches where the chain is
+/// already complete and traverses **none** of the banned elements — not in
+/// the host-walk prefix it inherits and not in the fresh extension, which
+/// runs over a banned-element-filtered shortest-path tree
+/// ([`sof_graph::ShortestPaths::from_sources_filtered`]) instead of a
+/// cost-mutated graph, so the shared [`sof_graph::PathEngine`] stays warm.
+///
+/// Returns the planned walk and its attachment cost. The caller applies it
+/// (e.g. [`crate::OnlineSession::switch_walk`]) or discards it — planning
+/// mutates nothing.
+pub fn plan_attach_avoiding(
+    instance: &SofInstance,
+    forest: &ServiceForest,
+    d: NodeId,
+    banned_edges: &std::collections::BTreeSet<(NodeId, NodeId)>,
+    banned_nodes: &std::collections::BTreeSet<NodeId>,
+) -> Result<(DestWalk, Cost), DynamicsError> {
+    if d.index() >= instance.network.node_count() {
+        return Err(DynamicsError::Infeasible(format!("{d} out of range")));
+    }
+    if banned_nodes.contains(&d) {
+        return Err(DynamicsError::Infeasible(format!("{d} is a failed node")));
+    }
+    let network = &instance.network;
+    let chain_len = forest.chain_len;
+
+    // Complete-chain attach points on *surviving* walk prefixes: a prefix
+    // that itself crosses a banned element can't host the reattachment.
+    let mut best_at: BTreeMap<NodeId, (usize, usize)> = BTreeMap::new(); // node -> (walk, pos)
+    for (wi, w) in forest.walks.iter().enumerate() {
+        if w.destination == d {
+            continue; // the broken walk being replaced is not a host
+        }
+        let mut f = 0usize;
+        let mut clean = true;
+        for (pos, &node) in w.nodes.iter().enumerate() {
+            if banned_nodes.contains(&node) {
+                clean = false;
+            }
+            if pos > 0 {
+                let (a, b) = (w.nodes[pos - 1].min(node), w.nodes[pos - 1].max(node));
+                if banned_edges.contains(&(a, b)) {
+                    clean = false;
+                }
+            }
+            if !clean {
+                break;
+            }
+            while f < w.vnf_positions.len() && w.vnf_positions[f] <= pos {
+                f += 1;
+            }
+            if f == chain_len {
+                best_at.entry(node).or_insert((wi, pos));
+            }
+        }
+    }
+    if best_at.is_empty() {
+        return Err(DynamicsError::Infeasible(
+            "no surviving complete-chain attach point".into(),
+        ));
+    }
+
+    let sp =
+        sof_graph::ShortestPaths::from_sources_filtered(network.graph(), [d], |from, _edge, to| {
+            if banned_nodes.contains(&to) && to != d {
+                return false;
+            }
+            let (a, b) = (from.min(to), from.max(to));
+            !banned_edges.contains(&(a, b))
+        });
+    let mut best: Option<(Cost, NodeId, usize, usize)> = None;
+    for (&x, &(wi, pos)) in &best_at {
+        let cost = sp.dist(x);
+        if !cost.is_finite() {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(b, ..)| cost < *b) {
+            best = Some((cost, x, wi, pos));
+        }
+    }
+    let (added, _x, wi, pos) = best.ok_or_else(|| {
+        DynamicsError::Infeasible("every surviving attach point is cut off by failures".into())
+    })?;
+    let host = &forest.walks[wi];
+    let mut path = sp.path_to(host.nodes[pos]).expect("finite distance");
+    path.reverse(); // now x → d
+    let mut nodes = host.nodes[..=pos].to_vec();
+    nodes.extend_from_slice(&path[1..]);
+    let vnf_positions: Vec<usize> = host
+        .vnf_positions
+        .iter()
+        .copied()
+        .filter(|&p| p <= pos)
+        .collect();
+    Ok((
+        DestWalk {
+            destination: d,
+            source: host.source,
+            nodes,
+            vnf_positions,
+        },
+        added,
+    ))
+}
+
 /// §VII-C (3) — removes VNF `idx` from the chain: every walk reconnects the
 /// VM of `f_{idx-1}` (or the source) directly to the VM of `f_{idx+1}` (or
 /// the walk's end) along a shortest path.
@@ -737,6 +843,40 @@ mod tests {
             full.validate(&inst_full).unwrap();
             // FullSearch considers a superset of TailAttach's candidates.
             assert!(added_full <= added_tail + Cost::new(1e-9), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn plan_attach_avoiding_routes_around_banned_elements() {
+        use std::collections::BTreeSet;
+        for seed in 30..36 {
+            let (inst, forest) = solved(seed);
+            if forest.walks.len() < 2 {
+                continue;
+            }
+            let d = forest.walks[0].destination;
+            let no_edges: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+            let no_nodes: BTreeSet<NodeId> = BTreeSet::new();
+            // With nothing banned the plan matches a plain tail-attach.
+            let (walk, _cost) =
+                plan_attach_avoiding(&inst, &forest, d, &no_edges, &no_nodes).unwrap();
+            assert_eq!(walk.destination, d);
+            assert_eq!(walk.vnf_positions.len(), forest.chain_len);
+            // Ban the last hop of d's current walk; the plan must avoid it.
+            let old = &forest.walks[0].nodes;
+            let (u, v) = (old[old.len() - 2], old[old.len() - 1]);
+            let banned: BTreeSet<_> = [(u.min(v), u.max(v))].into();
+            match plan_attach_avoiding(&inst, &forest, d, &banned, &no_nodes) {
+                Ok((walk, _)) => {
+                    assert!(walk
+                        .nodes
+                        .windows(2)
+                        .all(|p| { (p[0].min(p[1]), p[0].max(p[1])) != (u.min(v), u.max(v)) }));
+                    assert_eq!(*walk.nodes.last().unwrap(), d);
+                }
+                Err(DynamicsError::Infeasible(_)) => {} // d genuinely cut off
+                Err(e) => panic!("unexpected error: {e}"),
+            }
         }
     }
 

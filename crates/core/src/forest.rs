@@ -241,6 +241,33 @@ impl ServiceForest {
         ForestCost { setup, connection }
     }
 
+    /// Destinations whose walks traverse the undirected link `u`–`v`
+    /// (either direction), in walk order. The survivability layer's
+    /// disruption test for a link failure.
+    pub fn destinations_via_edge(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let key = (u.min(v), u.max(v));
+        self.walks
+            .iter()
+            .filter(|w| {
+                w.nodes
+                    .windows(2)
+                    .any(|p| (p[0].min(p[1]), p[0].max(p[1])) == key)
+            })
+            .map(|w| w.destination)
+            .collect()
+    }
+
+    /// Destinations whose walks visit `n` anywhere (endpoint, transit hop,
+    /// or VNF placement), in walk order. The disruption test for a node or
+    /// domain failure.
+    pub fn destinations_via_node(&self, n: NodeId) -> Vec<NodeId> {
+        self.walks
+            .iter()
+            .filter(|w| w.nodes.contains(&n))
+            .map(|w| w.destination)
+            .collect()
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> ForestStats {
         let sources: BTreeSet<NodeId> = self.walks.iter().map(|w| w.source).collect();

@@ -219,6 +219,11 @@ fn failed_vm_cost() -> Cost {
     Cost::new(1e9)
 }
 
+/// A failed switch's restoration record: the node, its incident edges'
+/// pristine base costs, and the node's pristine VM setup cost when it is
+/// also a VM.
+type FailedNode = (NodeId, Vec<(EdgeId, Cost)>, Option<Cost>);
+
 /// An incremental online embedding session: one solver, one standing
 /// forest, congestion-aware costs. See the [module docs](self) for the
 /// lifecycle and an example.
@@ -234,6 +239,13 @@ pub struct OnlineSession {
     /// Static VM setup costs captured at construction.
     base_vm_costs: Vec<(NodeId, Cost)>,
     forest: Option<ServiceForest>,
+    /// Failed links: normalized endpoints, edge id, pristine base cost.
+    failed_links: Vec<((NodeId, NodeId), EdgeId, Cost)>,
+    /// Failed switches: node, incident-edge pristine base costs, and the
+    /// node's pristine VM setup cost when it is also a VM.
+    failed_nodes: Vec<FailedNode>,
+    /// Failed VMs and their pristine setup costs (for repair).
+    failed_vms: Vec<(NodeId, Cost)>,
     accumulated: f64,
     churn_since_solve: usize,
     /// Standing forest cost measured right after the last full solve
@@ -273,6 +285,9 @@ impl OnlineSession {
             base_edge_costs,
             base_vm_costs,
             forest: None,
+            failed_links: Vec::new(),
+            failed_nodes: Vec::new(),
+            failed_vms: Vec::new(),
             accumulated: 0.0,
             churn_since_solve: 0,
             cost_at_solve: 0.0,
@@ -405,10 +420,13 @@ impl OnlineSession {
     pub fn fail_vm(&mut self, vm: NodeId) -> Result<bool, SolveError> {
         let slot = self
             .base_vm_costs
-            .iter_mut()
-            .find(|(v, _)| *v == vm)
+            .iter()
+            .position(|(v, _)| *v == vm)
             .ok_or_else(|| SolveError::Infeasible(format!("{vm} is not a VM")))?;
-        slot.1 = failed_vm_cost();
+        if !self.failed_vms.iter().any(|(v, _)| *v == vm) {
+            self.failed_vms.push((vm, self.base_vm_costs[slot].1));
+        }
+        self.base_vm_costs[slot].1 = failed_vm_cost();
         self.stats.vm_failures += 1;
         let disrupted = self
             .forest
@@ -420,6 +438,336 @@ impl OnlineSession {
         }
         self.refresh_costs();
         Ok(disrupted)
+    }
+
+    /// Protection-aware VM failure: prices `vm` out like
+    /// [`fail_vm`](OnlineSession::fail_vm) but **leaves the standing forest
+    /// up**, returning the destinations whose walks run a VNF on the failed
+    /// VM so a protection policy can decide how to recover them.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when `vm` is not a VM of this network.
+    pub fn fail_vm_soft(&mut self, vm: NodeId) -> Result<Vec<NodeId>, SolveError> {
+        let slot = self
+            .base_vm_costs
+            .iter()
+            .position(|(v, _)| *v == vm)
+            .ok_or_else(|| SolveError::Infeasible(format!("{vm} is not a VM")))?;
+        if !self.failed_vms.iter().any(|(v, _)| *v == vm) {
+            self.failed_vms.push((vm, self.base_vm_costs[slot].1));
+        }
+        self.base_vm_costs[slot].1 = failed_vm_cost();
+        self.stats.vm_failures += 1;
+        self.refresh_costs();
+        Ok(self
+            .forest
+            .as_ref()
+            .map(|f| {
+                f.walks
+                    .iter()
+                    .filter(|w| (0..w.vnf_positions.len()).any(|i| w.vnf_node(i) == vm))
+                    .map(|w| w.destination)
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    /// Repairs a VM failed via [`fail_vm`](OnlineSession::fail_vm) or
+    /// [`fail_vm_soft`](OnlineSession::fail_vm_soft): its pristine setup
+    /// cost is restored so future embeddings select it again.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when `vm` is not currently failed.
+    pub fn repair_vm(&mut self, vm: NodeId) -> Result<(), SolveError> {
+        let i = self
+            .failed_vms
+            .iter()
+            .position(|(v, _)| *v == vm)
+            .ok_or_else(|| SolveError::Infeasible(format!("{vm} is not a failed VM")))?;
+        let (_, pristine) = self.failed_vms.remove(i);
+        if let Some(slot) = self.base_vm_costs.iter_mut().find(|(v, _)| *v == vm) {
+            slot.1 = pristine;
+        }
+        self.refresh_costs();
+        Ok(())
+    }
+
+    /// Injects a link failure: the link's base cost is raised to a
+    /// prohibitive level so nothing routes over it, and the destinations
+    /// whose standing walks traverse it are returned. The forest is **not**
+    /// dropped — the protection layer decides how those destinations
+    /// recover (reactive drop, backup switchover, or standby swap).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when no link connects `u` and `v`.
+    pub fn fail_link(&mut self, u: NodeId, v: NodeId) -> Result<Vec<NodeId>, SolveError> {
+        let e = self
+            .instance
+            .network
+            .graph()
+            .edge_between(u, v)
+            .ok_or_else(|| SolveError::Infeasible(format!("no link between {u} and {v}")))?;
+        let key = (u.min(v), u.max(v));
+        if !self.failed_links.iter().any(|(k, ..)| *k == key) {
+            // If a failed switch already priced this edge out, carry ITS
+            // recorded pristine value so repairs compose in any order.
+            let pristine = self
+                .failed_nodes
+                .iter()
+                .flat_map(|(_, edges, _)| edges)
+                .find(|(fe, _)| *fe == e)
+                .map(|&(_, c)| c)
+                .unwrap_or(self.base_edge_costs[e.index()]);
+            self.failed_links.push((key, e, pristine));
+            self.base_edge_costs[e.index()] = failed_vm_cost();
+            self.refresh_costs();
+        }
+        Ok(self
+            .forest
+            .as_ref()
+            .map(|f| f.destinations_via_edge(u, v))
+            .unwrap_or_default())
+    }
+
+    /// Repairs a link failed via [`fail_link`](OnlineSession::fail_link):
+    /// its pristine base cost is restored so routes use it again.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when the link is not currently failed.
+    pub fn repair_link(&mut self, u: NodeId, v: NodeId) -> Result<(), SolveError> {
+        let key = (u.min(v), u.max(v));
+        let i = self
+            .failed_links
+            .iter()
+            .position(|(k, ..)| *k == key)
+            .ok_or_else(|| SolveError::Infeasible(format!("link {u}-{v} is not failed")))?;
+        let (_, e, pristine) = self.failed_links.remove(i);
+        self.base_edge_costs[e.index()] = pristine;
+        self.refresh_costs();
+        Ok(())
+    }
+
+    /// Injects a switch (transit node) failure: every incident link is
+    /// priced out and the destinations whose walks visit the node are
+    /// returned; the forest is left standing for the protection layer.
+    /// Idempotent — failing an already-failed node just re-reports the
+    /// affected destinations.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when the node is out of range, or is a
+    /// source/destination of the current request — endpoint failures are
+    /// a different event (the group member leaving), not a transit fault.
+    pub fn fail_node(&mut self, n: NodeId) -> Result<Vec<NodeId>, SolveError> {
+        if n.index() >= self.instance.network.node_count() {
+            return Err(SolveError::Infeasible(format!("{n} out of range")));
+        }
+        if self.instance.request.sources.contains(&n)
+            || self.instance.request.destinations.contains(&n)
+        {
+            return Err(SolveError::Infeasible(format!(
+                "{n} is a source or destination of the current request; \
+                 node failures model transit elements only"
+            )));
+        }
+        let affected = self
+            .forest
+            .as_ref()
+            .map(|f| f.destinations_via_node(n))
+            .unwrap_or_default();
+        if self.failed_nodes.iter().any(|(m, ..)| *m == n) {
+            return Ok(affected);
+        }
+        let incident: Vec<(EdgeId, Cost)> = {
+            let g = self.instance.network.graph();
+            let mut seen = BTreeSet::new();
+            g.neighbors(n)
+                .filter(|&(_, e)| seen.insert(e))
+                .map(|(_, e)| {
+                    // Carry the link-failure pristine when one is on file.
+                    let pristine = self
+                        .failed_links
+                        .iter()
+                        .find(|(_, fe, _)| *fe == e)
+                        .map(|&(_, _, c)| c)
+                        .unwrap_or(self.base_edge_costs[e.index()]);
+                    (e, pristine)
+                })
+                .collect()
+        };
+        for &(e, _) in &incident {
+            self.base_edge_costs[e.index()] = failed_vm_cost();
+        }
+        let vm_pristine = self
+            .base_vm_costs
+            .iter()
+            .position(|(v, _)| *v == n)
+            .map(|i| {
+                let pristine = self.base_vm_costs[i].1;
+                self.base_vm_costs[i].1 = failed_vm_cost();
+                pristine
+            });
+        self.failed_nodes.push((n, incident, vm_pristine));
+        self.refresh_costs();
+        Ok(affected)
+    }
+
+    /// Repairs a switch failed via [`fail_node`](OnlineSession::fail_node):
+    /// incident links (except ones independently failed) and the node's VM
+    /// pricing are restored.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when the node is not currently failed.
+    pub fn repair_node(&mut self, n: NodeId) -> Result<(), SolveError> {
+        let i = self
+            .failed_nodes
+            .iter()
+            .position(|(m, ..)| *m == n)
+            .ok_or_else(|| SolveError::Infeasible(format!("{n} is not a failed node")))?;
+        let (_, incident, vm_pristine) = self.failed_nodes.remove(i);
+        for (e, pristine) in incident {
+            if self.failed_links.iter().any(|(_, fe, _)| *fe == e) {
+                continue; // still link-failed; repair_link restores it
+            }
+            self.base_edge_costs[e.index()] = pristine;
+        }
+        if let Some(pristine) = vm_pristine {
+            if let Some(slot) = self.base_vm_costs.iter_mut().find(|(v, _)| *v == n) {
+                slot.1 = pristine;
+            }
+        }
+        self.refresh_costs();
+        Ok(())
+    }
+
+    /// Normalized endpoint pairs of currently failed links.
+    pub fn failed_edges(&self) -> BTreeSet<(NodeId, NodeId)> {
+        self.failed_links.iter().map(|&(k, ..)| k).collect()
+    }
+
+    /// Nodes a recovery route must avoid: failed switches plus failed VMs.
+    /// (Transit through a failed VM's switch may be physically fine, but
+    /// banning it keeps "never traverses a failed element" a hard
+    /// guarantee rather than a pricing tendency.)
+    pub fn failed_switches(&self) -> BTreeSet<NodeId> {
+        self.failed_nodes
+            .iter()
+            .map(|&(n, ..)| n)
+            .chain(self.failed_vms.iter().map(|&(v, _)| v))
+            .collect()
+    }
+
+    /// The SOFDA configuration driving this session's solves, so protection
+    /// layers can run standby solves with identical knobs.
+    pub fn sofda_config(&self) -> &SofdaConfig {
+        &self.config
+    }
+
+    /// Drops the standing forest without touching failure pricing: the
+    /// reactive recovery path. The next
+    /// [`arrive`](OnlineSession::arrive) rebuilds from scratch around
+    /// whatever is currently failed.
+    pub fn clear_forest(&mut self) {
+        self.forest = None;
+    }
+
+    /// Swaps in a pre-solved replacement forest (the standby-forest
+    /// switchover). Validates first, then recharges load accounting and
+    /// resets the drift baselines as a full solve would — the swapped
+    /// forest *is* a full solution, just one paid for earlier.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Internal`] when the candidate is not feasible for the
+    /// current instance; the standing forest is left untouched.
+    pub fn replace_forest(&mut self, forest: ServiceForest) -> Result<f64, SolveError> {
+        forest
+            .validate(&self.instance)
+            .map_err(SolveError::Internal)?;
+        self.forest = Some(forest);
+        let cost = self.recharge();
+        self.churn_since_solve = 0;
+        self.cost_at_solve = cost;
+        self.last_cost = cost;
+        Ok(cost)
+    }
+
+    /// Plans (without applying) a replacement walk for destination `d`
+    /// that avoids every currently-failed element. With
+    /// `disjoint_from_primary`, `d`'s **current** walk's links are banned
+    /// too — the backup-path pre-planning mode, which guarantees the
+    /// backup survives any single failure on the primary attachment.
+    /// Returns the walk and its attachment cost.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when nothing is embedded or no surviving
+    /// attachment exists.
+    pub fn plan_reattach(
+        &self,
+        d: NodeId,
+        disjoint_from_primary: bool,
+    ) -> Result<(crate::DestWalk, f64), SolveError> {
+        let forest = self
+            .forest
+            .as_ref()
+            .ok_or_else(|| SolveError::Infeasible("nothing embedded yet".into()))?;
+        let mut banned_edges = self.failed_edges();
+        let banned_nodes = self.failed_switches();
+        if disjoint_from_primary {
+            if let Some(w) = forest.walks.iter().find(|w| w.destination == d) {
+                for pair in w.nodes.windows(2) {
+                    banned_edges.insert((pair[0].min(pair[1]), pair[0].max(pair[1])));
+                }
+            }
+        }
+        let (walk, cost) =
+            dynamics::plan_attach_avoiding(&self.instance, forest, d, &banned_edges, &banned_nodes)
+                .map_err(|e| SolveError::Infeasible(e.to_string()))?;
+        Ok((walk, cost.value()))
+    }
+
+    /// Applies a planned replacement walk: `walk.destination`'s standing
+    /// walk is swapped for `walk`, the result validated, and load
+    /// accounting recharged. Returns the forest cost after the switch.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when nothing is embedded or the
+    /// destination is not served; [`SolveError::Internal`] when the
+    /// switched forest fails validation (the old walk is restored).
+    pub fn switch_walk(&mut self, walk: crate::DestWalk) -> Result<f64, SolveError> {
+        let d = walk.destination;
+        let i = {
+            let forest = self
+                .forest
+                .as_ref()
+                .ok_or_else(|| SolveError::Infeasible("nothing embedded yet".into()))?;
+            forest
+                .walks
+                .iter()
+                .position(|w| w.destination == d)
+                .ok_or_else(|| SolveError::Infeasible(format!("destination {d} is not served")))?
+        };
+        let old = std::mem::replace(&mut self.forest.as_mut().expect("checked").walks[i], walk);
+        if let Err(e) = self
+            .forest
+            .as_ref()
+            .expect("checked")
+            .validate(&self.instance)
+        {
+            self.forest.as_mut().expect("checked").walks[i] = old;
+            return Err(SolveError::Internal(e));
+        }
+        self.churn_since_solve += 1;
+        let cost = self.recharge();
+        self.last_cost = cost;
+        Ok(cost)
     }
 
     /// Attempts the incremental path; `false` means the caller must do a
@@ -762,6 +1110,109 @@ mod tests {
         // Failing a non-VM errors cleanly.
         let not_vm = s.instance().request.sources[0];
         assert!(s.fail_vm(not_vm).is_err());
+    }
+
+    #[test]
+    fn fail_link_reattach_and_repair_cycle() {
+        let mut s = session(EmbedMode::Incremental);
+        let base = s.instance().request.destinations.clone();
+        s.arrive(snapshot(s.instance(), base.clone())).unwrap();
+        // Fail the last hop of the first walk: its destination must be
+        // reported disrupted, with the forest left standing.
+        let (d, u, v) = {
+            let w = &s.forest().unwrap().walks[0];
+            let n = w.nodes.len();
+            (w.destination, w.nodes[n - 2], w.nodes[n - 1])
+        };
+        let affected = s.fail_link(u, v).unwrap();
+        assert!(affected.contains(&d));
+        assert!(s.forest().is_some(), "policy decides; forest stands");
+        let key = (u.min(v), u.max(v));
+        assert!(s.failed_edges().contains(&key));
+        match s.plan_reattach(d, false) {
+            Ok((walk, cost)) => {
+                assert!(walk
+                    .nodes
+                    .windows(2)
+                    .all(|p| (p[0].min(p[1]), p[0].max(p[1])) != key));
+                assert!(cost >= 0.0);
+                s.switch_walk(walk).unwrap();
+                s.forest().unwrap().validate(s.instance()).unwrap();
+            }
+            Err(SolveError::Infeasible(_)) => {} // d genuinely cut off
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        s.repair_link(u, v).unwrap();
+        assert!(s.failed_edges().is_empty());
+        // The repaired link is priced normally again, so future embeddings
+        // reuse it.
+        let e = s.instance().network.graph().edge_between(u, v).unwrap();
+        assert!(s.instance().network.graph().edge_cost(e).value() < 1e8);
+        assert!(s.repair_link(u, v).is_err(), "double repair rejected");
+        assert!(s.fail_link(u, NodeId::new(u.index())).is_err());
+    }
+
+    #[test]
+    fn node_failure_is_transit_only_and_repairable() {
+        let mut s = session(EmbedMode::Incremental);
+        let base = s.instance().request.destinations.clone();
+        s.arrive(snapshot(s.instance(), base.clone())).unwrap();
+        let src = s.instance().request.sources[0];
+        let err = s.fail_node(src).unwrap_err();
+        assert!(err.to_string().contains("transit"), "{err}");
+        let n = s
+            .instance()
+            .network
+            .graph()
+            .nodes()
+            .find(|n| {
+                !s.instance().request.sources.contains(n)
+                    && !s.instance().request.destinations.contains(n)
+            })
+            .unwrap();
+        let _ = s.fail_node(n).unwrap();
+        assert!(s.failed_switches().contains(&n));
+        // Idempotent re-failure, then a clean repair.
+        let _ = s.fail_node(n).unwrap();
+        s.repair_node(n).unwrap();
+        assert!(s.failed_switches().is_empty());
+        assert!(s.repair_node(n).is_err());
+    }
+
+    #[test]
+    fn soft_vm_failure_keeps_forest_and_repair_restores_pricing() {
+        let mut s = session(EmbedMode::Incremental);
+        let base = s.instance().request.destinations.clone();
+        s.arrive(snapshot(s.instance(), base.clone())).unwrap();
+        let vm = *s
+            .forest()
+            .unwrap()
+            .enabled_vms()
+            .unwrap()
+            .keys()
+            .next()
+            .unwrap();
+        let pristine = s.instance().network.node_cost(vm);
+        let affected = s.fail_vm_soft(vm).unwrap();
+        assert!(!affected.is_empty(), "an enabled VM disrupts its walks");
+        assert!(s.forest().is_some(), "soft failure leaves the forest up");
+        assert!(s.failed_switches().contains(&vm));
+        s.repair_vm(vm).unwrap();
+        assert_eq!(s.instance().network.node_cost(vm), pristine);
+        assert!(s.repair_vm(vm).is_err());
+    }
+
+    #[test]
+    fn replace_forest_swaps_and_resets_drift_baselines() {
+        let mut s = session(EmbedMode::Incremental);
+        let base = s.instance().request.destinations.clone();
+        s.arrive(snapshot(s.instance(), base.clone())).unwrap();
+        let standby = s.forest().unwrap().clone();
+        s.clear_forest();
+        assert!(s.forest().is_none());
+        let cost = s.replace_forest(standby).unwrap();
+        assert!(cost > 0.0);
+        s.forest().unwrap().validate(s.instance()).unwrap();
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::wire::{ApiError, Body};
 use sof_core::{ArrivalReport, OnlineConfig, OnlineSession, Request, ServiceChain, SofdaConfig};
 use sof_graph::{NodeId, PathEngineStats};
 use sof_spec::value::Value;
+use sof_survive::ElementRef;
 use sof_topo::{
     build_instance, build_named, build_region_instance, build_regions, RegionDef, RegionScenario,
     RegionTopology, RegionsParams, ScenarioParams, Topology, TopologySpec,
@@ -55,6 +56,8 @@ struct SessionEntry {
     last_cost: f64,
     ttl: Option<Duration>,
     deadline: Option<Instant>,
+    /// Scheduled repairs the janitor applies once their instant passes.
+    repairs: Vec<(Instant, ElementRef)>,
 }
 
 impl SessionEntry {
@@ -111,6 +114,97 @@ fn engine_value(s: PathEngineStats) -> Value {
 
 fn nodes_value(nodes: &[NodeId]) -> Value {
     Value::Array(nodes.iter().map(|n| Value::Int(n.index() as i64)).collect())
+}
+
+/// Reads the element reference a fail/repair body names: exactly one of
+/// `vm`, `link` (`[u, v]`), `node`, or `domain`.
+fn read_element(body: &mut Body) -> Result<ElementRef, ApiError> {
+    let vm = body.opt_u64("vm")?;
+    let link = body.opt_node_list("link")?;
+    let node = body.opt_u64("node")?;
+    let domain = body.opt_str("domain")?;
+    let given = [
+        vm.is_some(),
+        link.is_some(),
+        node.is_some(),
+        domain.is_some(),
+    ]
+    .iter()
+    .filter(|&&b| b)
+    .count();
+    if given != 1 {
+        return Err(ApiError::bad_request(
+            "give exactly one of 'vm', 'link' ([u, v]), 'node', or 'domain'",
+        ));
+    }
+    if let Some(v) = vm {
+        return Ok(ElementRef::Vm(v as usize));
+    }
+    if let Some(pair) = link {
+        let [u, v] = pair.as_slice() else {
+            return Err(ApiError::bad_request(format!(
+                "'link' must be a [u, v] endpoint pair, got {} entries",
+                pair.len()
+            )));
+        };
+        if u == v {
+            return Err(ApiError::bad_request("'link' endpoints must differ"));
+        }
+        return Ok(ElementRef::link(*u, *v));
+    }
+    if let Some(n) = node {
+        return Ok(ElementRef::Node(n as usize));
+    }
+    Ok(ElementRef::Domain(domain.expect("counted above")))
+}
+
+/// Resolves a domain name to its region's nodes (regions topologies only).
+fn domain_nodes(
+    topologies: &BTreeMap<String, Topo>,
+    topology: &str,
+    name: &str,
+) -> Result<Vec<NodeId>, ApiError> {
+    match topologies.get(topology) {
+        Some(Topo::Regions(rt)) => {
+            match (0..rt.region_count()).find(|&r| rt.region_name(r) == name) {
+                Some(r) => Ok(rt.region_nodes(r).to_vec()),
+                None => Err(ApiError::bad_request(format!(
+                    "unknown domain '{name}' (topology '{topology}' has: {})",
+                    (0..rt.region_count())
+                        .map(|r| rt.region_name(r))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))),
+            }
+        }
+        Some(Topo::Named(_)) => Err(ApiError::bad_request(format!(
+            "topology '{topology}' is not a multi-region build; \
+             domain failures need a regions topology"
+        ))),
+        None => Err(ApiError::not_found(format!(
+            "unknown topology '{topology}'"
+        ))),
+    }
+}
+
+/// Applies one element repair to a session. Domain repairs restore every
+/// region node that was failed, skipping the rest.
+fn repair_in_session(
+    session: &mut OnlineSession,
+    element: &ElementRef,
+    domain: Option<Vec<NodeId>>,
+) -> Result<(), sof_core::SolveError> {
+    match element {
+        ElementRef::Vm(n) => session.repair_vm(NodeId::new(*n)),
+        ElementRef::Link(u, v) => session.repair_link(NodeId::new(*u), NodeId::new(*v)),
+        ElementRef::Node(n) => session.repair_node(NodeId::new(*n)),
+        ElementRef::Domain(_) => {
+            for n in domain.unwrap_or_default() {
+                let _ = session.repair_node(n);
+            }
+            Ok(())
+        }
+    }
 }
 
 fn report_value(id: u64, r: &ArrivalReport) -> Value {
@@ -331,6 +425,7 @@ impl Registry {
             last_cost: report.forest_cost,
             ttl,
             deadline: None,
+            repairs: Vec::new(),
         };
         entry.touch(now);
         self.sessions.insert(id, entry);
@@ -403,24 +498,118 @@ impl Registry {
         Ok(v)
     }
 
-    /// `POST /v1/sessions/{id}/fail` — injects a VM failure
-    /// (`{"vm": n}`); a disrupted forest rebuilds on the next join.
+    /// `POST /v1/sessions/{id}/fail` — injects an element failure. The
+    /// body names exactly one element — `{"vm": n}`, `{"link": [u, v]}`,
+    /// `{"node": n}`, or `{"domain": "name"}` (regions topologies only) —
+    /// plus an optional `"repair_secs"` scheduling an automatic repair the
+    /// janitor applies once the interval passes.
+    ///
+    /// VM failures keep the legacy semantics (the disrupted forest
+    /// rebuilds on the next join, `disrupted` is a boolean); link, node
+    /// and domain failures leave the forest standing and report the
+    /// disconnected destinations.
     ///
     /// # Errors
     ///
-    /// 404 for an unknown session, 400 when the node is not a VM.
+    /// 404 for an unknown session, 400 for a malformed element, a node
+    /// that is not a VM, a non-existent link, or an unknown domain.
     pub fn session_fail(&mut self, id: u64, mut body: Body) -> Result<Value, ApiError> {
-        let vm = NodeId::new(body.u64("vm")? as usize);
+        let element = read_element(&mut body)?;
+        let repair_secs = body.opt_u64("repair_secs")?;
         body.finish()?;
-        let entry = self.entry(id)?;
-        let disrupted = entry
-            .session
-            .fail_vm(vm)
-            .map_err(|e| ApiError::bad_request(format!("fail failed: {e}")))?;
+        // Resolve domain membership before mutably borrowing the session.
+        let topology = self
+            .sessions
+            .get(&id)
+            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))?
+            .topology
+            .clone();
+        let domain = match &element {
+            ElementRef::Domain(name) => Some(domain_nodes(&self.topologies, &topology, name)?),
+            _ => None,
+        };
+        let entry = self.sessions.get_mut(&id).expect("checked above");
+        let mut v = Value::table();
+        v.set("id", Value::Int(id as i64));
+        v.set("element", Value::Str(element.to_string()));
+        match &element {
+            ElementRef::Vm(n) => {
+                let disrupted = entry
+                    .session
+                    .fail_vm(NodeId::new(*n))
+                    .map_err(|e| ApiError::bad_request(format!("fail failed: {e}")))?;
+                v.set("disrupted", Value::Bool(disrupted));
+            }
+            ElementRef::Link(u, w) => {
+                let dests = entry
+                    .session
+                    .fail_link(NodeId::new(*u), NodeId::new(*w))
+                    .map_err(|e| ApiError::bad_request(format!("fail failed: {e}")))?;
+                v.set("disrupted", Value::Int(dests.len() as i64));
+                v.set("disconnected", nodes_value(&dests));
+            }
+            ElementRef::Node(n) => {
+                let dests = entry
+                    .session
+                    .fail_node(NodeId::new(*n))
+                    .map_err(|e| ApiError::bad_request(format!("fail failed: {e}")))?;
+                v.set("disrupted", Value::Int(dests.len() as i64));
+                v.set("disconnected", nodes_value(&dests));
+            }
+            ElementRef::Domain(_) => {
+                // Endpoint nodes of the request are skipped (a member
+                // leaving is a different event than a transit fault).
+                let mut dests: std::collections::BTreeSet<NodeId> =
+                    std::collections::BTreeSet::new();
+                for n in domain.clone().expect("resolved above") {
+                    if let Ok(d) = entry.session.fail_node(n) {
+                        dests.extend(d);
+                    }
+                }
+                let dests: Vec<NodeId> = dests.into_iter().collect();
+                v.set("disrupted", Value::Int(dests.len() as i64));
+                v.set("disconnected", nodes_value(&dests));
+            }
+        }
+        if let Some(secs) = repair_secs.filter(|&s| s > 0) {
+            entry
+                .repairs
+                .push((Instant::now() + Duration::from_secs(secs), element));
+            v.set("repair_in_secs", Value::Int(secs as i64));
+        }
+        entry.touch(Instant::now());
+        Ok(v)
+    }
+
+    /// `POST /v1/sessions/{id}/repair` — restores a previously failed
+    /// element immediately. Same element vocabulary as `fail`; any repair
+    /// the janitor had scheduled for the element is cancelled.
+    ///
+    /// # Errors
+    ///
+    /// 404 for an unknown session, 400 when the element is malformed or
+    /// not currently failed.
+    pub fn session_repair(&mut self, id: u64, mut body: Body) -> Result<Value, ApiError> {
+        let element = read_element(&mut body)?;
+        body.finish()?;
+        let topology = self
+            .sessions
+            .get(&id)
+            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))?
+            .topology
+            .clone();
+        let domain = match &element {
+            ElementRef::Domain(name) => Some(domain_nodes(&self.topologies, &topology, name)?),
+            _ => None,
+        };
+        let entry = self.sessions.get_mut(&id).expect("checked above");
+        repair_in_session(&mut entry.session, &element, domain)
+            .map_err(|e| ApiError::bad_request(format!("repair failed: {e}")))?;
+        entry.repairs.retain(|(_, e)| e != &element);
         entry.touch(Instant::now());
         let mut v = Value::table();
         v.set("id", Value::Int(id as i64));
-        v.set("disrupted", Value::Bool(disrupted));
+        v.set("repaired", Value::Str(element.to_string()));
         Ok(v)
     }
 
@@ -467,6 +656,7 @@ impl Registry {
         c.set("fallbacks", Value::Int(stats.fallbacks as i64));
         c.set("vm_failures", Value::Int(stats.vm_failures as i64));
         v.set("counters", c);
+        v.set("pending_repairs", Value::Int(entry.repairs.len() as i64));
         v.set(
             "engine",
             engine_value(entry.session.instance().network.paths().stats()),
@@ -499,8 +689,32 @@ impl Registry {
     }
 
     /// Reaps every session whose TTL deadline has passed; returns how many
-    /// were expired. Called by the janitor thread.
+    /// were expired. Also drains scheduled element repairs that have come
+    /// due. Called by the janitor thread.
     pub fn expire(&mut self, now: Instant) -> usize {
+        for entry in self.sessions.values_mut() {
+            if entry.repairs.iter().all(|(t, _)| *t > now) {
+                continue;
+            }
+            let due: Vec<ElementRef> = entry
+                .repairs
+                .iter()
+                .filter(|(t, _)| *t <= now)
+                .map(|(_, e)| e.clone())
+                .collect();
+            entry.repairs.retain(|(t, _)| *t > now);
+            for element in due {
+                let domain = match &element {
+                    ElementRef::Domain(name) => {
+                        domain_nodes(&self.topologies, &entry.topology, name).ok()
+                    }
+                    _ => None,
+                };
+                // A client may have repaired (or re-failed) the element in
+                // the meantime; a stale scheduled repair is not an error.
+                let _ = repair_in_session(&mut entry.session, &element, domain);
+            }
+        }
         let dead: Vec<u64> = self
             .sessions
             .iter()

@@ -65,7 +65,7 @@ fn dispatch(
                 _ => Err(method_not_allowed(req, "GET or DELETE")),
             }
         }
-        ["v1", "sessions", id, op @ ("join" | "leave" | "fail")] => {
+        ["v1", "sessions", id, op @ ("join" | "leave" | "fail" | "repair")] => {
             let id = session_id(id)?;
             if method != "POST" {
                 return Err(method_not_allowed(req, "POST"));
@@ -74,7 +74,8 @@ fn dispatch(
             match *op {
                 "join" => lock(registry).session_join(id, body),
                 "leave" => lock(registry).session_leave(id, body),
-                _ => lock(registry).session_fail(id, body),
+                "fail" => lock(registry).session_fail(id, body),
+                _ => lock(registry).session_repair(id, body),
             }
         }
         ["v1", "shutdown"] => match method {
@@ -88,7 +89,7 @@ fn dispatch(
         },
         _ => Err(ApiError::not_found(format!(
             "no route for {} {} (endpoints: /healthz, /v1/stats, /v1/topologies, \
-             /v1/sessions[/{{id}}[/join|leave|fail]], /v1/shutdown)",
+             /v1/sessions[/{{id}}[/join|leave|fail|repair]], /v1/shutdown)",
             req.method, req.path
         ))),
     }

@@ -158,11 +158,7 @@ fn accept_loop(
     config: ServerConfig,
 ) {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
-    for conn in listener.incoming() {
-        if stop.load(Ordering::Acquire) {
-            break;
-        }
-        let Ok(stream) = conn else { continue };
+    let serve = |stream: TcpStream, workers: &mut Vec<JoinHandle<()>>| {
         workers.retain(|h| !h.is_finished());
         let registry = Arc::clone(&registry);
         let stop = Arc::clone(&stop);
@@ -170,6 +166,26 @@ fn accept_loop(
         workers.push(thread::spawn(move || {
             handle_connection(stream, &registry, &stop, &config);
         }));
+    };
+    for conn in listener.incoming() {
+        let stopping = stop.load(Ordering::Acquire);
+        if let Ok(stream) = conn {
+            // Serve even the connection that delivered the stop signal: it
+            // may be a real client that raced the shutdown wake-up, and a
+            // throwaway wake connection just reads EOF and closes.
+            serve(stream, &mut workers);
+        }
+        if stopping {
+            break;
+        }
+    }
+    // Drain the backlog: a connection whose request was already written
+    // when stop was raised is still accepted and answered. `WouldBlock`
+    // means the queue is empty and shutdown can proceed.
+    let _ = listener.set_nonblocking(true);
+    while let Ok((stream, _)) = listener.accept() {
+        let _ = stream.set_nonblocking(false);
+        serve(stream, &mut workers);
     }
     // Drain: every in-flight connection finishes its current request and
     // closes before shutdown completes.

@@ -183,6 +183,33 @@ impl Body {
         }
     }
 
+    /// An optional array of non-negative integers (node indices).
+    ///
+    /// # Errors
+    ///
+    /// 400 when present but not an array of non-negative integers.
+    pub fn opt_node_list(&mut self, key: &str) -> Result<Option<Vec<usize>>, ApiError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(Value::Array(items)) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| match v {
+                    Value::Int(n) if *n >= 0 => Ok(*n as usize),
+                    other => Err(ApiError::bad_request(format!(
+                        "'{key}[{i}]' must be a non-negative node index, found {}",
+                        other.type_name()
+                    ))),
+                })
+                .collect::<Result<Vec<usize>, ApiError>>()
+                .map(Some),
+            Some(other) => Err(ApiError::bad_request(format!(
+                "'{key}' must be an array of node indices, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+
     /// An optional matrix of numbers (e.g. a region pair-cost matrix).
     ///
     /// # Errors

@@ -60,6 +60,60 @@ impl ShortestPaths {
         ws.into_paths()
     }
 
+    /// Runs multi-source Dijkstra relaxing only the edges `allow` accepts.
+    ///
+    /// The filter sees each candidate hop as `(from, edge, to)`; returning
+    /// `false` makes the hop impassable for this run without touching the
+    /// graph's costs (so shared caches like [`crate::PathEngine`] stay
+    /// warm). Sources are seeded unconditionally — exclude unusable
+    /// sources before calling. This is the routing primitive under
+    /// survivability's "reattach avoiding failed elements": temporarily
+    /// severed links and nodes are modelled as a filter, not a mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source is out of range.
+    pub fn from_sources_filtered<I, F>(graph: &Graph, sources: I, mut allow: F) -> ShortestPaths
+    where
+        I: IntoIterator<Item = NodeId>,
+        F: FnMut(NodeId, EdgeId, NodeId) -> bool,
+    {
+        let n = graph.node_count();
+        let mut sp = ShortestPaths {
+            dist: vec![Cost::INFINITY; n],
+            parent: vec![None; n],
+            site: vec![None; n],
+        };
+        let mut heap: BinaryHeap<Reverse<(Cost, NodeId)>> = BinaryHeap::new();
+        for s in sources {
+            assert!(s.index() < n, "source {s} out of range");
+            if sp.dist[s.index()] > Cost::ZERO {
+                sp.dist[s.index()] = Cost::ZERO;
+                sp.site[s.index()] = Some(s);
+                heap.push(Reverse((Cost::ZERO, s)));
+            }
+        }
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > sp.dist[u.index()] {
+                continue;
+            }
+            let su = sp.site[u.index()];
+            for (v, e) in graph.neighbors(u) {
+                if !allow(u, e, v) {
+                    continue;
+                }
+                let nd = d + graph.edge_cost(e);
+                if nd < sp.dist[v.index()] {
+                    sp.dist[v.index()] = nd;
+                    sp.parent[v.index()] = Some((u, e));
+                    sp.site[v.index()] = su;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        sp
+    }
+
     /// Distance from the closest source to `v`.
     #[inline]
     pub fn dist(&self, v: NodeId) -> Cost {
@@ -412,6 +466,30 @@ mod tests {
         let sp = ShortestPaths::from_source(&g, NodeId::new(0));
         assert_eq!(sp.dist(NodeId::new(2)), Cost::ZERO);
         assert_eq!(sp.path_to(NodeId::new(2)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn filtered_run_routes_around_banned_hops() {
+        let g = diamond();
+        // Unfiltered, the cheap route 0→1→2 wins; banning the 0–1 hop
+        // forces the expensive direct edge instead of mutating any cost.
+        let banned = (NodeId::new(0), NodeId::new(1));
+        let sp = ShortestPaths::from_sources_filtered(&g, [NodeId::new(0)], |u, _, v| {
+            (u.min(v), u.max(v)) != banned
+        });
+        assert_eq!(sp.dist(NodeId::new(2)), Cost::new(5.0));
+        assert_eq!(
+            sp.path_to(NodeId::new(2)).unwrap(),
+            vec![NodeId::new(0), NodeId::new(2)]
+        );
+        assert_eq!(sp.dist(NodeId::new(1)), Cost::new(6.0), "via 2");
+        // An all-pass filter matches the unfiltered run exactly.
+        let open = ShortestPaths::from_sources_filtered(&g, [NodeId::new(0)], |_, _, _| true);
+        let reference = ShortestPaths::from_source(&g, NodeId::new(0));
+        for v in g.nodes() {
+            assert_eq!(open.dist(v), reference.dist(v));
+            assert_eq!(open.path_to(v), reference.path_to(v));
+        }
     }
 
     #[test]

@@ -62,6 +62,7 @@ mod ward;
 pub use events::{GroupChurnConfig, GroupEvent, GroupProcess};
 pub use runner::{Runner, RunnerConfig, RunnerHandle, Summary};
 pub use sink::{
-    CollectSink, EngineTotals, EventRecord, JsonlSink, Record, Sink, SummaryRecord, WindowRecord,
+    CollectSink, EngineTotals, EventRecord, FailureRecord, FailureTotals, JsonlSink, Record,
+    RecoveryRecord, RecoverySummary, Sink, SummaryRecord, WindowRecord,
 };
 pub use ward::{StopReason, Ward};

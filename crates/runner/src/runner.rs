@@ -3,13 +3,20 @@
 
 use crate::events::{GroupChurnConfig, GroupProcess};
 use crate::sink::{
-    ChannelSink, EngineTotals, EventRecord, Record, Sink, SummaryRecord, WindowRecord,
+    ChannelSink, EngineTotals, EventRecord, FailureRecord, FailureTotals, Record, RecoveryRecord,
+    RecoverySummary, Sink, SummaryRecord, WindowRecord,
 };
 use crate::ward::{StopReason, Ward, WardSet};
 use sof_core::{OnlineConfig, OnlineSession, Request, SessionPool, SofdaConfig};
+use sof_graph::NodeId;
+use sof_survive::{
+    universe_for_scopes, ElementRef, FailureDriver, FailurePlan, ProtectionPolicy, Protector,
+    RecoveryMetrics,
+};
 use sof_topo::{
     build_region_instance, build_regions, RegionScenario, RegionTopology, RegionsParams,
 };
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
@@ -54,6 +61,10 @@ pub struct RunnerConfig {
     /// Stop conditions; the first to trip ends the run. With no wards the
     /// run only ends via [`RunnerHandle::stop`].
     pub wards: Vec<Ward>,
+    /// Optional failure plan: when set, a [`sof_survive::FailureDriver`]
+    /// interleaves deterministic element failures (and repairs) between
+    /// rounds, and the plan's protection policy answers each disruption.
+    pub failures: Option<FailurePlan>,
 }
 
 impl RunnerConfig {
@@ -80,6 +91,7 @@ impl RunnerConfig {
             timings: false,
             threads: 0,
             wards: vec![Ward::MaxEvents(100_000)],
+            failures: None,
         }
     }
 
@@ -133,6 +145,12 @@ impl RunnerConfig {
         if smallest < 2 {
             return Err("every region needs at least 2 nodes for a group to live on".into());
         }
+        if let Some(plan) = &self.failures {
+            // The survivability layer owns the rules (finite rates in
+            // [0, 1], ordered repair ranges, known scopes, …); the library
+            // path through `Runner::new` rejects exactly what it does.
+            plan.validate()?;
+        }
         Ok(())
     }
 }
@@ -155,6 +173,8 @@ pub struct Summary {
     pub accumulated_cost: f64,
     /// Why the run stopped.
     pub stop: StopReason,
+    /// Recovery/availability totals (runs with a failure plan only).
+    pub recovery: Option<RecoverySummary>,
 }
 
 /// Open-window accumulators — the only per-event state the runner keeps,
@@ -169,6 +189,77 @@ struct WindowAccum {
     errors: u64,
     cost_sum: f64,
     millis: f64,
+}
+
+/// Per-run survivability state: the failure-event generator, one
+/// [`Protector`] per pool slot, the recovery metrics, and the slots
+/// currently dark waiting on a deferred rebuild.
+struct FailureState {
+    driver: FailureDriver,
+    policy: ProtectionPolicy,
+    protectors: Vec<Protector>,
+    metrics: RecoveryMetrics,
+    /// Slot → (round of the disruption, destinations it darkened).
+    pending: Vec<Option<(usize, usize)>>,
+    round: usize,
+}
+
+impl FailureState {
+    fn new(plan: &FailurePlan, rt: &RegionTopology, cfg: &RunnerConfig) -> FailureState {
+        // The symbolic element universe lives on the shared base topology,
+        // so one failure trace applies identically to every group instance
+        // (all instances clone the base graph; VM ids are appended after
+        // the access nodes in the same order for every group).
+        let graph = &rt.topo.graph;
+        let links: Vec<(usize, usize)> = graph
+            .edges()
+            .map(|(_, e)| {
+                let (u, v) = (e.u.index(), e.v.index());
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        let nodes: Vec<usize> = (0..graph.node_count()).collect();
+        let first_vm = graph.node_count();
+        let vms: Vec<usize> =
+            (first_vm..first_vm + rt.topo.dc_nodes.len() * cfg.vms_per_dc).collect();
+        let domains: Vec<String> = (0..rt.region_count())
+            .map(|r| rt.region_name(r).to_string())
+            .collect();
+        let universe = universe_for_scopes(&plan.scope, &links, &nodes, &vms, &domains);
+        let protectors = (0..cfg.groups)
+            .map(|_| Protector::new(plan.policy, sof_solvers::by_name(&cfg.solver)))
+            .collect();
+        FailureState {
+            driver: FailureDriver::new(plan, universe),
+            policy: plan.policy,
+            protectors,
+            metrics: RecoveryMetrics::default(),
+            pending: vec![None; cfg.groups],
+            round: 0,
+        }
+    }
+
+    fn totals(&self) -> FailureTotals {
+        FailureTotals {
+            fail_events: self.metrics.fail_events as u64,
+            repair_events: self.metrics.repair_events as u64,
+            disruptions: self.metrics.disruptions as u64,
+            pending: self.pending.iter().flatten().count() as u64,
+        }
+    }
+
+    fn summary(&self) -> RecoverySummary {
+        RecoverySummary {
+            fail_events: self.metrics.fail_events as u64,
+            repair_events: self.metrics.repair_events as u64,
+            disruptions: self.metrics.disruptions as u64,
+            immediate: self.metrics.immediate as u64,
+            recoveries: self.metrics.recoveries as u64,
+            mean_recovery_cost: self.metrics.mean_recovery_cost(),
+            mean_events_to_restore: self.metrics.mean_events_to_restore(),
+            availability: self.metrics.availability(),
+        }
+    }
 }
 
 /// A streaming churn-at-scale simulation over one [`SessionPool`].
@@ -189,6 +280,7 @@ pub struct Runner {
     /// Stats carried over from retired sessions.
     retired_cost: f64,
     retired_engine: EngineTotals,
+    failure: Option<FailureState>,
 }
 
 impl Runner {
@@ -209,6 +301,10 @@ impl Runner {
             procs.push(proc);
         }
         let pool = SessionPool::new(sessions).with_threads(cfg.threads);
+        let failure = cfg
+            .failures
+            .as_ref()
+            .map(|p| FailureState::new(p, &rt, &cfg));
         Ok(Runner {
             next_id: cfg.groups as u64,
             cfg,
@@ -223,6 +319,7 @@ impl Runner {
             windows: 0,
             retired_cost: 0.0,
             retired_engine: EngineTotals::default(),
+            failure,
         })
     }
 
@@ -266,6 +363,11 @@ impl Runner {
             solver: self.cfg.solver.clone(),
             window: self.cfg.window,
             events_target: wards.events_left(0),
+            policy: self
+                .cfg
+                .failures
+                .as_ref()
+                .map(|p| p.policy.as_str().to_string()),
         })?;
         let mut win = WindowAccum::default();
         let stop = loop {
@@ -282,6 +384,7 @@ impl Runner {
             }
             let round = self.step_round(budget, &mut win)?;
             debug_assert_eq!(round, budget as u64);
+            self.apply_failures()?;
             if let Some(reason) = wards.after_round(self.seq, started.elapsed()) {
                 // Flush the open window before stopping so no events are
                 // silently dropped from the stream.
@@ -309,6 +412,7 @@ impl Runner {
             errors: self.errors,
             accumulated_cost: self.accumulated_cost(),
             stop,
+            recovery: self.failure.as_ref().map(FailureState::summary),
         };
         self.emit(Record::Summary(SummaryRecord {
             events: summary.events,
@@ -318,6 +422,7 @@ impl Runner {
             errors: summary.errors,
             accumulated_cost: summary.accumulated_cost,
             stop,
+            recovery: summary.recovery,
             millis: self
                 .cfg
                 .timings
@@ -383,6 +488,15 @@ impl Runner {
                 Ok(rep) => {
                     if rep.rebuilt {
                         win.full_solves += 1;
+                        // A full solve restores service for a slot darkened
+                        // by a deferred (reactive) recovery; the rebuild's
+                        // forest cost is that recovery's price.
+                        if let Some(fs) = self.failure.as_mut() {
+                            if let Some((r0, _)) = fs.pending[slot].take() {
+                                fs.metrics
+                                    .record_restore(fs.round - r0 + 1, rep.forest_cost);
+                            }
+                        }
                     } else {
                         win.incremental += 1;
                     }
@@ -419,6 +533,105 @@ impl Runner {
         Ok(stepped)
     }
 
+    /// Advances the failure process by one round and applies its events to
+    /// every live session: repairs first, then (after pre-provisioning
+    /// protection against the still-healthy forests) the new failures, then
+    /// one recovery pass per disrupted session. Everything here is serial,
+    /// so the record stream stays byte-identical at any thread count.
+    fn apply_failures(&mut self) -> Result<(), String> {
+        let Some(mut fs) = self.failure.take() else {
+            return Ok(());
+        };
+        fs.round += 1;
+        let events = fs.driver.advance(fs.round);
+
+        // Availability sampling: every destination of every live group is
+        // one destination×round sample; slots darkened by a deferred
+        // recovery contribute their disrupted destinations as dark samples.
+        for proc in &self.procs {
+            fs.metrics.dest_rounds += proc.current().destinations.len();
+        }
+        fs.metrics.disconnected_dest_rounds += fs
+            .pending
+            .iter()
+            .flatten()
+            .map(|&(_, dark)| dark)
+            .sum::<usize>();
+
+        for element in &events.repairs {
+            fs.metrics.repair_events += 1;
+            for session in self.pool.sessions_mut() {
+                repair_element(session, element, &self.rt);
+            }
+            self.emit(Record::Failure(FailureRecord {
+                seq: self.seq,
+                round: fs.round as u64,
+                action: "repair",
+                element: element.to_string(),
+                disrupted: 0,
+                repair_at: None,
+            }))?;
+        }
+
+        if !events.failures.is_empty() {
+            // Backups and standbys must be planned against the pre-failure
+            // state — protection provisioned after the cut is just repair.
+            for (slot, protector) in fs.protectors.iter_mut().enumerate() {
+                protector.prewarm(&mut self.pool.sessions_mut()[slot]);
+            }
+            let mut affected: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); self.procs.len()];
+            for (element, repair_at) in &events.failures {
+                fs.metrics.fail_events += 1;
+                let mut disrupted = 0u64;
+                for (slot, session) in self.pool.sessions_mut().iter_mut().enumerate() {
+                    let broken = fail_element(session, element, &self.rt);
+                    disrupted += broken.len() as u64;
+                    affected[slot].extend(broken);
+                }
+                self.emit(Record::Failure(FailureRecord {
+                    seq: self.seq,
+                    round: fs.round as u64,
+                    action: "fail",
+                    element: element.to_string(),
+                    disrupted,
+                    repair_at: repair_at.map(|r| r as u64),
+                }))?;
+            }
+            let (mut disrupted, mut recovered, mut cost, mut pending) = (0u64, 0u64, 0.0, 0u64);
+            for (slot, dests) in affected.iter().enumerate() {
+                if dests.is_empty() {
+                    continue;
+                }
+                let dests: Vec<NodeId> = dests.iter().copied().collect();
+                let outcome =
+                    fs.protectors[slot].recover(&mut self.pool.sessions_mut()[slot], &dests);
+                disrupted += outcome.affected as u64;
+                recovered += outcome.recovered as u64;
+                cost += outcome.cost;
+                if outcome.pending {
+                    fs.metrics.record_deferred();
+                    fs.pending[slot] = Some((fs.round, outcome.affected));
+                    pending += 1;
+                } else {
+                    fs.metrics.record_immediate(outcome.cost);
+                }
+            }
+            if disrupted > 0 {
+                self.emit(Record::Recovery(RecoveryRecord {
+                    seq: self.seq,
+                    round: fs.round as u64,
+                    policy: fs.policy.as_str(),
+                    disrupted,
+                    recovered,
+                    cost,
+                    pending,
+                }))?;
+            }
+        }
+        self.failure = Some(fs);
+        Ok(())
+    }
+
     /// Emits the open window as a record and resets the accumulators,
     /// returning the window's mean cost (for the convergence ward).
     fn close_window(&mut self, win: &mut WindowAccum) -> Result<f64, String> {
@@ -441,6 +654,7 @@ impl Runner {
             mean_cost: mean,
             accumulated_cost: self.accumulated_cost(),
             engine: self.engine_totals(),
+            failures: self.failure.as_ref().map(FailureState::totals),
             millis: self.cfg.timings.then_some(win.millis),
         });
         self.windows += 1;
@@ -494,6 +708,55 @@ fn make_session(rt: &RegionTopology, cfg: &RunnerConfig, proc: &GroupProcess) ->
     let mut online = cfg.online;
     online.demand_mbps = cfg.churn.demand_mbps;
     OnlineSession::new(instance, solver, sofda, online)
+}
+
+/// Applies one failed element to one session, returning the destinations it
+/// disconnected. Failures of elements the session's forest does not use (or
+/// that are already down) disrupt nothing and are silently absorbed.
+fn fail_element(
+    session: &mut OnlineSession,
+    element: &ElementRef,
+    rt: &RegionTopology,
+) -> Vec<NodeId> {
+    match element {
+        ElementRef::Vm(v) => session.fail_vm_soft(NodeId::new(*v)).unwrap_or_default(),
+        ElementRef::Link(u, v) => session
+            .fail_link(NodeId::new(*u), NodeId::new(*v))
+            .unwrap_or_default(),
+        ElementRef::Node(n) => session.fail_node(NodeId::new(*n)).unwrap_or_default(),
+        ElementRef::Domain(name) => {
+            let mut out = Vec::new();
+            if let Some(r) = (0..rt.region_count()).find(|&r| rt.region_name(r) == name) {
+                for &n in rt.region_nodes(r) {
+                    out.extend(session.fail_node(n).unwrap_or_default());
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Undoes [`fail_element`]: restores the element for future embeddings.
+/// Elements that were never down in this session are ignored.
+fn repair_element(session: &mut OnlineSession, element: &ElementRef, rt: &RegionTopology) {
+    match element {
+        ElementRef::Vm(v) => {
+            let _ = session.repair_vm(NodeId::new(*v));
+        }
+        ElementRef::Link(u, v) => {
+            let _ = session.repair_link(NodeId::new(*u), NodeId::new(*v));
+        }
+        ElementRef::Node(n) => {
+            let _ = session.repair_node(NodeId::new(*n));
+        }
+        ElementRef::Domain(name) => {
+            if let Some(r) = (0..rt.region_count()).find(|&r| rt.region_name(r) == name) {
+                for &n in rt.region_nodes(r) {
+                    let _ = session.repair_node(n);
+                }
+            }
+        }
+    }
 }
 
 fn add_engine(totals: &mut EngineTotals, session: &OnlineSession) {

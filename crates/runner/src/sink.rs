@@ -32,6 +32,86 @@ pub struct EngineTotals {
     pub repairs: u64,
 }
 
+/// Cumulative failure-subsystem counters carried by window records (only
+/// present when the run has a failure plan).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FailureTotals {
+    /// Element failures applied so far.
+    pub fail_events: u64,
+    /// Element repairs applied so far.
+    pub repair_events: u64,
+    /// Session disruptions (a failure that broke ≥ 1 standing walk) so far.
+    pub disruptions: u64,
+    /// Slots currently dark, waiting on a deferred (reactive) rebuild.
+    pub pending: u64,
+}
+
+/// One element failing or being repaired (only emitted when the run has a
+/// failure plan).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailureRecord {
+    /// Global event sequence number at emission time (failure records sit
+    /// between rounds, so consecutive records may share a `seq`).
+    pub seq: u64,
+    /// Failure-process round the event belongs to.
+    pub round: u64,
+    /// `"fail"` or `"repair"`.
+    pub action: &'static str,
+    /// The element, in `ElementRef` display form (`link:3-7`, `vm:12`,
+    /// `node:5`, `domain:us-east`).
+    pub element: String,
+    /// Destinations across all live groups whose walks this element's
+    /// failure broke (0 for repairs).
+    pub disrupted: u64,
+    /// Round the element's repair is scheduled for (`None` = never, and
+    /// for repair records).
+    pub repair_at: Option<u64>,
+}
+
+/// One per-round recovery outcome, emitted after a round's failures were
+/// applied and every affected session answered (only when ≥ 1 session was
+/// disrupted).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryRecord {
+    /// Global event sequence number at emission time.
+    pub seq: u64,
+    /// Failure-process round.
+    pub round: u64,
+    /// The protection policy that answered (spec name).
+    pub policy: &'static str,
+    /// Destinations disrupted this round, across all sessions.
+    pub disrupted: u64,
+    /// Destinations reattached within the round (backup/standby).
+    pub recovered: u64,
+    /// Cost of the reconfigurations installed now (0 for standby swaps
+    /// and for deferred reactive rebuilds).
+    pub cost: f64,
+    /// Sessions left dark for a deferred (reactive) rebuild.
+    pub pending: u64,
+}
+
+/// End-of-run recovery/availability totals (only present when the run has
+/// a failure plan).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecoverySummary {
+    /// Element failures applied.
+    pub fail_events: u64,
+    /// Element repairs applied.
+    pub repair_events: u64,
+    /// Session disruptions.
+    pub disruptions: u64,
+    /// Disruptions recovered within their failure round.
+    pub immediate: u64,
+    /// Disruptions whose recovery completed (immediate or deferred).
+    pub recoveries: u64,
+    /// Mean cost per completed recovery.
+    pub mean_recovery_cost: f64,
+    /// Mean group events until service was restored.
+    pub mean_events_to_restore: f64,
+    /// Fraction of destination×round samples spent connected.
+    pub availability: f64,
+}
+
 /// One windowed aggregate over `events` consecutive events.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WindowRecord {
@@ -61,6 +141,9 @@ pub struct WindowRecord {
     pub accumulated_cost: f64,
     /// Cumulative path-cache counters at window close.
     pub engine: EngineTotals,
+    /// Cumulative failure-subsystem counters at window close (failure
+    /// plans only).
+    pub failures: Option<FailureTotals>,
     /// Wall-clock milliseconds spent embedding this window's events
     /// (timings mode only).
     pub millis: Option<f64>,
@@ -109,6 +192,8 @@ pub struct SummaryRecord {
     pub accumulated_cost: f64,
     /// Which ward (or stop request) ended the run.
     pub stop: StopReason,
+    /// Recovery/availability totals (failure plans only).
+    pub recovery: Option<RecoverySummary>,
     /// Total wall-clock milliseconds (timings mode only).
     pub millis: Option<f64>,
 }
@@ -133,11 +218,17 @@ pub enum Record {
         window: u64,
         /// The `MaxEvents` ward budget, if one is set.
         events_target: Option<u64>,
+        /// The protection policy, when the run has a failure plan.
+        policy: Option<String>,
     },
     /// Windowed aggregate.
     Window(WindowRecord),
     /// Per-event sample.
     Event(EventRecord),
+    /// One element failing or being repaired.
+    Failure(FailureRecord),
+    /// One round's recovery outcome.
+    Recovery(RecoveryRecord),
     /// End-of-run totals.
     Summary(SummaryRecord),
 }
@@ -156,6 +247,7 @@ impl Record {
                 solver,
                 window,
                 events_target,
+                policy,
             } => {
                 let regions = regions
                     .iter()
@@ -166,13 +258,18 @@ impl Record {
                     Some(t) => t.to_string(),
                     None => "null".into(),
                 };
-                format!(
+                let mut line = format!(
                     "{{\"type\":\"meta\",\"subsystem\":\"churn-at-scale\",\"name\":{},\
                      \"groups\":{groups},\"regions\":[{regions}],\"seed\":{seed},\
-                     \"solver\":{},\"window\":{window},\"events_target\":{target}}}",
+                     \"solver\":{},\"window\":{window},\"events_target\":{target}",
                     quote(name),
                     quote(solver),
-                )
+                );
+                if let Some(p) = policy {
+                    line.push_str(&format!(",\"policy\":{}", quote(p)));
+                }
+                line.push('}');
+                line
             }
             Record::Window(w) => {
                 let mut line = format!(
@@ -198,6 +295,13 @@ impl Record {
                     w.engine.stale,
                     w.engine.repairs,
                 );
+                if let Some(f) = &w.failures {
+                    line.push_str(&format!(
+                        ",\"fail_events\":{},\"repair_events\":{},\"disruptions\":{},\
+                         \"pending\":{}",
+                        f.fail_events, f.repair_events, f.disruptions, f.pending,
+                    ));
+                }
                 push_millis(&mut line, w.millis);
                 line.push('}');
                 line
@@ -224,6 +328,34 @@ impl Record {
                 line.push('}');
                 line
             }
+            Record::Failure(f) => {
+                let repair = match f.repair_at {
+                    Some(r) => r.to_string(),
+                    None => "null".into(),
+                };
+                format!(
+                    "{{\"type\":\"failure\",\"seq\":{},\"round\":{},\"action\":\"{}\",\
+                     \"element\":{},\"disrupted\":{},\"repair_at\":{repair}}}",
+                    f.seq,
+                    f.round,
+                    f.action,
+                    quote(&f.element),
+                    f.disrupted,
+                )
+            }
+            Record::Recovery(r) => {
+                format!(
+                    "{{\"type\":\"recovery\",\"seq\":{},\"round\":{},\"policy\":\"{}\",\
+                     \"disrupted\":{},\"recovered\":{},\"cost\":{},\"pending\":{}}}",
+                    r.seq,
+                    r.round,
+                    r.policy,
+                    r.disrupted,
+                    r.recovered,
+                    float(r.cost),
+                    r.pending,
+                )
+            }
             Record::Summary(s) => {
                 let mut line = format!(
                     "{{\"type\":\"summary\",\"events\":{},\"windows\":{},\"groups_seen\":{},\
@@ -236,6 +368,21 @@ impl Record {
                     float(s.accumulated_cost),
                     s.stop.as_str(),
                 );
+                if let Some(r) = &s.recovery {
+                    line.push_str(&format!(
+                        ",\"fail_events\":{},\"repair_events\":{},\"disruptions\":{},\
+                         \"immediate\":{},\"recoveries\":{},\"mean_recovery_cost\":{},\
+                         \"mean_events_to_restore\":{},\"availability\":{}",
+                        r.fail_events,
+                        r.repair_events,
+                        r.disruptions,
+                        r.immediate,
+                        r.recoveries,
+                        float(r.mean_recovery_cost),
+                        float(r.mean_events_to_restore),
+                        float(r.availability),
+                    ));
+                }
                 push_millis(&mut line, s.millis);
                 line.push('}');
                 line
@@ -370,6 +517,7 @@ mod tests {
             solver: "SOFDA".into(),
             window: 8,
             events_target: Some(40),
+            policy: None,
         };
         assert_eq!(
             meta.to_json(),
@@ -396,6 +544,7 @@ mod tests {
                 stale: 1,
                 repairs: 1,
             },
+            failures: None,
             millis: None,
         });
         assert_eq!(
@@ -431,12 +580,87 @@ mod tests {
             errors: 0,
             accumulated_cost: 321.0,
             stop: StopReason::MaxEvents,
+            recovery: None,
             millis: None,
         });
         assert_eq!(
             sum.to_json(),
             "{\"type\":\"summary\",\"events\":40,\"windows\":5,\"groups_seen\":6,\"retired\":2,\
              \"errors\":0,\"accumulated_cost\":321.0,\"stop\":\"max-events\"}"
+        );
+    }
+
+    #[test]
+    fn failure_subsystem_record_lines_are_stable() {
+        let meta = Record::Meta {
+            name: "t".into(),
+            groups: 4,
+            regions: vec!["a".into()],
+            seed: 7,
+            solver: "SOFDA".into(),
+            window: 8,
+            events_target: Some(40),
+            policy: Some("standby-forest".into()),
+        };
+        assert!(
+            meta.to_json()
+                .ends_with("\"events_target\":40,\"policy\":\"standby-forest\"}"),
+            "{}",
+            meta.to_json()
+        );
+        let fail = Record::Failure(FailureRecord {
+            seq: 12,
+            round: 3,
+            action: "fail",
+            element: "link:3-7".into(),
+            disrupted: 2,
+            repair_at: Some(9),
+        });
+        assert_eq!(
+            fail.to_json(),
+            "{\"type\":\"failure\",\"seq\":12,\"round\":3,\"action\":\"fail\",\
+             \"element\":\"link:3-7\",\"disrupted\":2,\"repair_at\":9}"
+        );
+        let rec = Record::Recovery(RecoveryRecord {
+            seq: 12,
+            round: 3,
+            policy: "backup-paths",
+            disrupted: 2,
+            recovered: 2,
+            cost: 6.5,
+            pending: 0,
+        });
+        assert_eq!(
+            rec.to_json(),
+            "{\"type\":\"recovery\",\"seq\":12,\"round\":3,\"policy\":\"backup-paths\",\
+             \"disrupted\":2,\"recovered\":2,\"cost\":6.5,\"pending\":0}"
+        );
+        let sum = Record::Summary(SummaryRecord {
+            events: 40,
+            windows: 5,
+            groups_seen: 6,
+            retired: 2,
+            errors: 0,
+            accumulated_cost: 321.0,
+            stop: StopReason::MaxEvents,
+            recovery: Some(RecoverySummary {
+                fail_events: 4,
+                repair_events: 2,
+                disruptions: 3,
+                immediate: 2,
+                recoveries: 3,
+                mean_recovery_cost: 10.5,
+                mean_events_to_restore: 0.5,
+                availability: 0.975,
+            }),
+            millis: None,
+        });
+        assert_eq!(
+            sum.to_json(),
+            "{\"type\":\"summary\",\"events\":40,\"windows\":5,\"groups_seen\":6,\"retired\":2,\
+             \"errors\":0,\"accumulated_cost\":321.0,\"stop\":\"max-events\",\"fail_events\":4,\
+             \"repair_events\":2,\"disruptions\":3,\"immediate\":2,\"recoveries\":3,\
+             \"mean_recovery_cost\":10.5,\"mean_events_to_restore\":0.5,\"availability\":0.975}"
         );
     }
 
@@ -453,6 +677,7 @@ mod tests {
                 errors: 0,
                 accumulated_cost: 1.0,
                 stop: StopReason::Stopped,
+                recovery: None,
                 millis: None,
             }))
             .unwrap();

@@ -101,7 +101,7 @@ pub fn run_spec(spec: &ScenarioSpec, opts: &RunOptions) -> Result<RunReport, Spe
             solvers,
             *sessions,
             groups,
-            failures.as_ref(),
+            failures.as_deref(),
             opts,
         ),
         Workload::ChurnAtScale(s) => run_churn_at_scale(spec, s, opts),
@@ -140,6 +140,13 @@ pub fn runner_config(spec: &ScenarioSpec, opts: &RunOptions) -> Result<RunnerCon
     cfg.emit_events = s.emit_events;
     cfg.timings = opts.timings;
     cfg.threads = opts.threads;
+    if let Some(f) = &s.failures {
+        // The first listed policy; multi-policy comparison legs swap it.
+        let plan = f
+            .to_plan(&f.policies[0])
+            .map_err(|e| SpecError(format!("'workload.failures': {e}")))?;
+        cfg.failures = Some(plan);
+    }
     cfg.wards = vec![Ward::MaxEvents(s.events)];
     if let Some(c) = &s.converge {
         cfg.wards.push(Ward::ConvergedCost {
@@ -169,9 +176,80 @@ pub fn run_churn_stream<W: std::io::Write + Send + 'static>(
     out: W,
 ) -> Result<Summary, SpecError> {
     let cfg = runner_config(spec, opts)?;
-    let mut runner = Runner::new(cfg).map_err(SpecError)?;
-    runner.add_sink(Box::new(JsonlSink::new(out)));
-    runner.run().map_err(SpecError)
+    let policies = churn_policies(spec);
+    if policies.len() <= 1 {
+        let mut runner = Runner::new(cfg).map_err(SpecError)?;
+        runner.add_sink(Box::new(JsonlSink::new(out)));
+        return runner.run().map_err(SpecError);
+    }
+    // Policy-comparison run: one streamed leg per policy over the identical
+    // failure trace, then a closing comparison line.
+    let shared = SharedOut(std::sync::Arc::new(std::sync::Mutex::new(out)));
+    let mut legs: Vec<(String, Summary)> = Vec::new();
+    for policy in &policies {
+        let mut leg = cfg.clone();
+        if let Some(plan) = leg.failures.as_mut() {
+            plan.policy = sof_survive::ProtectionPolicy::from_name(policy)
+                .map_err(|e| SpecError(format!("'workload.failures.policies': {e}")))?;
+        }
+        let mut runner = Runner::new(leg).map_err(SpecError)?;
+        runner.add_sink(Box::new(JsonlSink::new(shared.clone())));
+        let summary = runner.run().map_err(SpecError)?;
+        legs.push((policy.clone(), summary));
+    }
+    {
+        let mut line = String::from("{\"type\":\"policy-comparison\",\"legs\":[");
+        for (i, (policy, summary)) in legs.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let r = summary.recovery.unwrap_or_default();
+            line.push_str(&format!(
+                "{{\"policy\":\"{policy}\",\"disruptions\":{},\"mean_recovery_cost\":{},\
+                 \"availability\":{}}}",
+                r.disruptions,
+                crate::value::json_f64(r.mean_recovery_cost),
+                crate::value::json_f64(r.availability),
+            ));
+        }
+        line.push_str("]}");
+        let mut w = shared.0.lock().expect("comparison stream");
+        writeln!(w, "{line}").map_err(|e| SpecError(format!("stream write failed: {e}")))?;
+    }
+    Ok(legs.remove(0).1)
+}
+
+/// The protection policies a churn-at-scale spec's failure axis lists
+/// (empty when the spec has no failure axis).
+fn churn_policies(spec: &ScenarioSpec) -> Vec<String> {
+    match &spec.workload {
+        Workload::ChurnAtScale(s) => s
+            .failures
+            .as_ref()
+            .map(|f| f.policies.clone())
+            .unwrap_or_default(),
+        _ => Vec::new(),
+    }
+}
+
+/// Clonable writer handle letting several sequential runner legs share one
+/// output stream.
+struct SharedOut<W>(std::sync::Arc<std::sync::Mutex<W>>);
+
+impl<W> Clone for SharedOut<W> {
+    fn clone(&self) -> SharedOut<W> {
+        SharedOut(self.0.clone())
+    }
+}
+
+impl<W: std::io::Write> std::io::Write for SharedOut<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("shared stream").write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.lock().expect("shared stream").flush()
+    }
 }
 
 /// The `run_spec` path for churn-at-scale: collect the window records and
@@ -183,12 +261,31 @@ fn run_churn_at_scale(
     opts: &RunOptions,
 ) -> Result<RunReport, SpecError> {
     let cfg = runner_config(spec, opts)?;
+    let policies = churn_policies(spec);
+    // Comparison legs beyond the first rerun the identical trace under the
+    // other policies; only their recovery summaries feed the report.
+    let mut comparison: Vec<(String, sof_runner::RecoverySummary)> = Vec::new();
+    for policy in policies.iter().skip(1) {
+        let mut leg = cfg.clone();
+        if let Some(plan) = leg.failures.as_mut() {
+            plan.policy = sof_survive::ProtectionPolicy::from_name(policy)
+                .map_err(|e| SpecError(format!("'workload.failures.policies': {e}")))?;
+        }
+        let leg_summary = Runner::new(leg)
+            .map_err(SpecError)?
+            .run()
+            .map_err(SpecError)?;
+        comparison.push((policy.clone(), leg_summary.recovery.unwrap_or_default()));
+    }
     let mut runner = Runner::new(cfg).map_err(SpecError)?;
     let (sink, records) = CollectSink::new();
     runner.add_sink(Box::new(sink));
     let started = Instant::now();
     let summary = runner.run().map_err(SpecError)?;
     let secs = started.elapsed().as_secs_f64();
+    if let (Some(first), Some(r)) = (policies.first(), summary.recovery) {
+        comparison.insert(0, (first.clone(), r));
+    }
     let records = records.lock().expect("collect sink");
     let columns: Vec<String> = [
         "events",
@@ -220,7 +317,7 @@ fn run_churn_at_scale(
             ],
         });
     }
-    let extra_rows = vec![
+    let mut extra_rows = vec![
         summary_row("events", summary.events as f64, false),
         summary_row("windows", summary.windows as f64, false),
         summary_row("groups_seen", summary.groups_seen as f64, false),
@@ -229,6 +326,57 @@ fn run_churn_at_scale(
         summary_row("accumulated_cost", summary.accumulated_cost, false),
         summary_row("secs", secs, true),
     ];
+    if let Some(r) = summary.recovery {
+        extra_rows.push(summary_row("fail_events", r.fail_events as f64, false));
+        extra_rows.push(summary_row("disruptions", r.disruptions as f64, false));
+        extra_rows.push(summary_row("recoveries", r.recoveries as f64, false));
+        extra_rows.push(summary_row(
+            "mean_recovery_cost",
+            r.mean_recovery_cost,
+            false,
+        ));
+        extra_rows.push(summary_row(
+            "mean_events_to_restore",
+            r.mean_events_to_restore,
+            false,
+        ));
+        extra_rows.push(summary_row("availability", r.availability, false));
+    }
+    let mut sections = Vec::new();
+    if comparison.len() > 1 {
+        sections.push(Section {
+            id: "policy-comparison".into(),
+            heading: Some("Protection-policy comparison (identical failure trace)".into()),
+            table: Some(Table {
+                col0: "policy".into(),
+                columns: [
+                    "disruptions",
+                    "immediate",
+                    "mean recovery cost",
+                    "mean events to restore",
+                    "availability",
+                ]
+                .map(String::from)
+                .to_vec(),
+                rows: comparison
+                    .iter()
+                    .map(|(policy, r)| TableRow {
+                        label: policy.clone(),
+                        x: None,
+                        cells: vec![
+                            Cell::num(Some(r.disruptions as f64), 0),
+                            Cell::num(Some(r.immediate as f64), 0),
+                            Cell::num(Some(r.mean_recovery_cost), 2),
+                            Cell::num(Some(r.mean_events_to_restore), 2),
+                            Cell::num(Some(r.availability), 4),
+                        ],
+                    })
+                    .collect(),
+            }),
+            extra_rows: Vec::new(),
+            detail: Detail::None,
+        });
+    }
     Ok(RunReport {
         meta: meta(
             spec,
@@ -244,17 +392,21 @@ fn run_churn_at_scale(
             1,
             vec![s.solver.clone()],
         ),
-        sections: vec![Section {
-            id: "windows".into(),
-            heading: None,
-            table: Some(Table {
-                col0: "window".into(),
-                columns,
-                rows,
-            }),
-            extra_rows,
-            detail: Detail::None,
-        }],
+        sections: {
+            let mut all = vec![Section {
+                id: "windows".into(),
+                heading: None,
+                table: Some(Table {
+                    col0: "window".into(),
+                    columns,
+                    rows,
+                }),
+                extra_rows,
+                detail: Detail::None,
+            }];
+            all.extend(sections);
+            all
+        },
     })
 }
 

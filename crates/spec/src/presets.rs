@@ -26,6 +26,10 @@ pub const PRESETS: &[(&str, &str)] = &[
         "churn-pair-cost",
         include_str!("../specs/churn-pair-cost.toml"),
     ),
+    (
+        "churn-failures-protected",
+        include_str!("../specs/churn-failures-protected.toml"),
+    ),
 ];
 
 /// The bundled preset names, in evaluation order.

@@ -346,17 +346,116 @@ pub struct OnlineGroup {
     pub churn: ChurnSpec,
 }
 
-/// Deterministic failure injection for online workloads: every `every`
-/// arrivals, `count` VMs currently carrying VNFs are marked failed in
-/// every session, forcing the engines to re-embed around them.
+/// Deterministic failure injection: the spec-level `failures` axis shared
+/// by online and churn-at-scale workloads.
+///
+/// Online workloads keep the legacy semantics (every `every` arrivals,
+/// `count` VMs carrying VNFs are marked failed in every session).
+/// Churn-at-scale workloads compile the axis into a
+/// [`sof_survive::FailurePlan`]: a seeded failure process over the scoped
+/// element universe, a repair-time range, and one or more protection
+/// policies to run (one streamed leg per policy, identical trace).
 #[derive(Clone, Debug, PartialEq)]
 pub struct FailureSpec {
-    /// Inject after every this many arrivals (≥ 1).
+    /// Periodic fire interval in arrivals/rounds (≥ 1).
     pub every: usize,
-    /// What fails (only `"vm"` is defined today).
+    /// Legacy element kind (online only accepts `"vm"`).
     pub kind: String,
-    /// How many VMs fail per injection.
+    /// Elements failed per periodic firing.
     pub count: usize,
+    /// Failure process: `"periodic"`, `"poisson"`, or `"scripted"`.
+    pub process: String,
+    /// Per-element per-round failure probability (poisson process).
+    pub rate: f64,
+    /// Element kinds the universe draws from (subset of `"vm"`, `"link"`,
+    /// `"node"`, `"domain"`); defaults to `[kind]`.
+    pub scope: Vec<String>,
+    /// Inclusive rounds-until-repair range; `[0, 0]` = permanent.
+    pub repair: (usize, usize),
+    /// Protection policies to run (`"reactive"`, `"backup-paths"`,
+    /// `"standby-forest"`); churn-at-scale streams one leg per entry.
+    pub policies: Vec<String>,
+    /// Seed of the failure RNG stream (independent of churn streams).
+    pub seed: u64,
+    /// Explicit event list for the scripted process.
+    pub events: Vec<FailureEventSpec>,
+}
+
+/// One entry of a scripted failure trace in a spec file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailureEventSpec {
+    /// Round at which the element fails.
+    pub at: usize,
+    /// What fails, as an element reference (`"vm:12"`, `"link:3-7"`,
+    /// `"node:5"`, `"domain:us-east"`).
+    pub element: String,
+    /// Rounds until repair (`0` = never).
+    pub repair: usize,
+}
+
+impl FailureSpec {
+    /// The axis with every field at its reader default, for the given
+    /// legacy kind.
+    pub fn defaults(kind: &str) -> FailureSpec {
+        FailureSpec {
+            every: 10,
+            kind: kind.to_string(),
+            count: 1,
+            process: "periodic".into(),
+            rate: 0.0,
+            scope: vec![kind.to_string()],
+            repair: (0, 0),
+            policies: vec!["reactive".into()],
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Compiles the axis into a validated [`sof_survive::FailurePlan`]
+    /// running under `policy` (one of [`FailureSpec::policies`]).
+    ///
+    /// # Errors
+    ///
+    /// An actionable message naming the offending field.
+    pub fn to_plan(&self, policy: &str) -> Result<sof_survive::FailurePlan, String> {
+        let process = match self.process.as_str() {
+            "periodic" => sof_survive::ProcessKind::Periodic {
+                every: self.every,
+                count: self.count,
+            },
+            "poisson" => sof_survive::ProcessKind::Poisson { rate: self.rate },
+            "scripted" => {
+                let mut events = Vec::with_capacity(self.events.len());
+                for (i, ev) in self.events.iter().enumerate() {
+                    let element: sof_survive::ElementRef = ev
+                        .element
+                        .parse()
+                        .map_err(|e| format!("events[{i}].element: {e}"))?;
+                    events.push(sof_survive::ScriptedEvent {
+                        at: ev.at,
+                        element,
+                        repair: ev.repair,
+                    });
+                }
+                sof_survive::ProcessKind::Scripted(events)
+            }
+            other => {
+                return Err(format!(
+                    "unknown failures process '{other}' (expected 'periodic', 'poisson', \
+                     or 'scripted')"
+                ))
+            }
+        };
+        let plan = sof_survive::FailurePlan {
+            process,
+            scope: self.scope.clone(),
+            repair: self.repair,
+            policy: sof_survive::ProtectionPolicy::from_name(policy)?,
+            seed: self.seed,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
 }
 
 /// Convergence stop condition for churn-at-scale workloads (compiles to
@@ -406,6 +505,10 @@ pub struct ScaleSpec {
     pub pair_cost: Option<Vec<Vec<f64>>>,
     /// Per-group churn-process shape.
     pub churn: GroupChurnConfig,
+    /// Optional failure axis: deterministic element failures interleaved
+    /// between rounds, one streamed leg per listed protection policy.
+    /// Boxed: the full plan vocabulary is large and usually absent.
+    pub failures: Option<Box<FailureSpec>>,
     /// Optional converged-cost early stop.
     pub converge: Option<ConvergeSpec>,
     /// Optional wall-clock safety net in seconds (host-dependent — keep
@@ -494,8 +597,8 @@ pub enum Workload {
         sessions: usize,
         /// The churning groups, run in order.
         groups: Vec<OnlineGroup>,
-        /// Optional failure injection.
-        failures: Option<FailureSpec>,
+        /// Optional failure injection (boxed: large and usually absent).
+        failures: Option<Box<FailureSpec>>,
     },
     /// Streaming churn at scale: a `sof_runner` run over lazily generated
     /// group timelines (10k+ groups, 1M+ events, bounded memory).
@@ -914,6 +1017,22 @@ impl ScenarioSpec {
                     if f.count == 0 {
                         return fail("'workload.failures.count' must be at least 1");
                     }
+                    if f.process != "periodic" {
+                        return fail(format!(
+                            "'workload.failures.process' must be \"periodic\" for online \
+                             workloads, got \"{}\"",
+                            f.process
+                        ));
+                    }
+                    if f.scope != ["vm"] {
+                        return fail(
+                            "'workload.failures.scope' must be [\"vm\"] for online workloads",
+                        );
+                    }
+                    for p in &f.policies {
+                        sof_survive::ProtectionPolicy::from_name(p)
+                            .map_err(|e| SpecError(format!("'workload.failures.policies': {e}")))?;
+                    }
                 }
             }
             Workload::ChurnAtScale(s) => {
@@ -946,6 +1065,18 @@ impl ScenarioSpec {
                 s.churn
                     .validate()
                     .map_err(|e| SpecError(format!("'workload.{e}'")))?;
+                if let Some(f) = &s.failures {
+                    if f.policies.is_empty() {
+                        return fail("'workload.failures.policies' must name at least one policy");
+                    }
+                    for p in &f.policies {
+                        // Compiling per policy also runs FailurePlan::validate,
+                        // so the spec layer and the runner can never disagree
+                        // on what a legal failure axis is.
+                        f.to_plan(p)
+                            .map_err(|e| SpecError(format!("'workload.failures': {e}")))?;
+                    }
+                }
                 if let Some(c) = &s.converge {
                     if !positive(c.epsilon) {
                         return fail("'workload.converge.epsilon' must be positive");
@@ -1347,16 +1478,7 @@ fn read_workload(v: &Value) -> Result<Workload, SpecError> {
             };
             let failures = match r.take_raw("failures") {
                 None => None,
-                Some(t) => {
-                    let mut fr = Reader::new("workload.failures", t)?;
-                    let f = FailureSpec {
-                        every: fr.opt_usize("every")?.unwrap_or(10),
-                        kind: fr.str_or("kind", "vm")?,
-                        count: fr.opt_usize("count")?.unwrap_or(1),
-                    };
-                    fr.finish(&["every", "kind", "count"])?;
-                    Some(f)
-                }
+                Some(t) => Some(Box::new(read_failures("workload.failures", t)?)),
             };
             let w = Workload::Online {
                 seed,
@@ -1442,6 +1564,10 @@ fn read_workload(v: &Value) -> Result<Workload, SpecError> {
                 None => GroupChurnConfig::default(),
                 Some(t) => read_scale_churn("workload.churn", t)?,
             };
+            let failures = match r.take_raw("failures") {
+                None => None,
+                Some(t) => Some(Box::new(read_failures("workload.failures", t)?)),
+            };
             let converge = match r.take_raw("converge") {
                 None => None,
                 Some(t) => {
@@ -1467,6 +1593,7 @@ fn read_workload(v: &Value) -> Result<Workload, SpecError> {
                 gateway_links,
                 pair_cost,
                 churn,
+                failures,
                 converge,
                 max_seconds,
             });
@@ -1483,6 +1610,7 @@ fn read_workload(v: &Value) -> Result<Workload, SpecError> {
                 "regions",
                 "pair_cost",
                 "churn",
+                "failures",
                 "converge",
                 "max_seconds",
             ])?;
@@ -1541,6 +1669,57 @@ fn read_scale_churn(ctx: &str, v: &Value) -> Result<GroupChurnConfig, SpecError>
     Ok(cfg)
 }
 
+fn read_failures(ctx: &str, v: &Value) -> Result<FailureSpec, SpecError> {
+    let mut r = Reader::new(ctx, v)?;
+    let kind = r.str_or("kind", "vm")?;
+    let d = FailureSpec::defaults(&kind);
+    let events = match r.take_raw("events") {
+        None => Vec::new(),
+        Some(Value::Array(items)) => {
+            let mut events = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let ectx = format!("{ctx}.events[{i}]");
+                let mut er = Reader::new(&ectx, item)?;
+                let ev = FailureEventSpec {
+                    at: er
+                        .opt_usize("at")?
+                        .ok_or_else(|| SpecError(format!("'{ectx}.at' is required")))?,
+                    element: er
+                        .opt_str("element")?
+                        .ok_or_else(|| SpecError(format!("'{ectx}.element' is required")))?,
+                    repair: er.opt_usize("repair")?.unwrap_or(0),
+                };
+                er.finish(&["at", "element", "repair"])?;
+                events.push(ev);
+            }
+            events
+        }
+        Some(other) => {
+            return fail(format!(
+                "'{ctx}.events' must be an array of tables, found {}",
+                other.type_name()
+            ))
+        }
+    };
+    let f = FailureSpec {
+        every: r.opt_usize("every")?.unwrap_or(d.every),
+        count: r.opt_usize("count")?.unwrap_or(d.count),
+        process: r.str_or("process", &d.process)?,
+        rate: r.opt_f64("rate")?.unwrap_or(d.rate),
+        scope: r.opt_str_list("scope")?.unwrap_or(d.scope),
+        repair: r.opt_range("repair")?.unwrap_or(d.repair),
+        policies: r.opt_str_list("policies")?.unwrap_or(d.policies),
+        seed: r.opt_u64("seed")?.unwrap_or(d.seed),
+        kind,
+        events,
+    };
+    r.finish(&[
+        "every", "kind", "count", "process", "rate", "scope", "repair", "policies", "seed",
+        "events",
+    ])?;
+    Ok(f)
+}
+
 // ---------------------------------------------------------------------------
 // Writers (Value builders)
 // ---------------------------------------------------------------------------
@@ -1555,6 +1734,37 @@ fn str_array(values: &[String]) -> Value {
 
 fn range_value(r: (usize, usize)) -> Value {
     Value::Array(vec![Value::Int(r.0 as i64), Value::Int(r.1 as i64)])
+}
+
+fn failures_value(f: &FailureSpec) -> Value {
+    let mut fv = Value::table();
+    fv.set("every", Value::Int(f.every as i64));
+    fv.set("kind", Value::Str(f.kind.clone()));
+    fv.set("count", Value::Int(f.count as i64));
+    fv.set("process", Value::Str(f.process.clone()));
+    fv.set("rate", Value::Float(f.rate));
+    fv.set("scope", str_array(&f.scope));
+    fv.set("repair", range_value(f.repair));
+    fv.set("policies", str_array(&f.policies));
+    fv.set("seed", Value::Int(f.seed as i64));
+    if !f.events.is_empty() {
+        fv.set(
+            "events",
+            Value::Array(
+                f.events
+                    .iter()
+                    .map(|ev| {
+                        let mut evv = Value::table();
+                        evv.set("at", Value::Int(ev.at as i64));
+                        evv.set("element", Value::Str(ev.element.clone()));
+                        evv.set("repair", Value::Int(ev.repair as i64));
+                        evv
+                    })
+                    .collect(),
+            ),
+        );
+    }
+    fv
 }
 
 fn topology_value(t: &TopologySpec) -> Value {
@@ -1723,11 +1933,7 @@ fn workload_value(w: &Workload) -> Value {
                 ),
             );
             if let Some(f) = failures {
-                let mut fv = Value::table();
-                fv.set("every", Value::Int(f.every as i64));
-                fv.set("kind", Value::Str(f.kind.clone()));
-                fv.set("count", Value::Int(f.count as i64));
-                v.set("failures", fv);
+                v.set("failures", failures_value(f));
             }
         }
         Workload::ChurnAtScale(s) => {
@@ -1784,6 +1990,9 @@ fn workload_value(w: &Workload) -> Value {
             );
             cv.set("roam", Value::Float(c.roam));
             v.set("churn", cv);
+            if let Some(f) = &s.failures {
+                v.set("failures", failures_value(f));
+            }
             if let Some(conv) = &s.converge {
                 let mut cov = Value::table();
                 cov.set("epsilon", Value::Float(conv.epsilon));

@@ -239,6 +239,9 @@ const BENCH_PRESETS: &[(&str, &str, &str)] = &[
         "churn-at-scale",
         "--groups 200 --events 4000 --window 1000",
     ),
+    // The survivability subsystem: a three-policy comparison over one
+    // failure trace (failure application, protection prewarm, recovery).
+    ("failures-recovery", "churn-failures-protected", ""),
 ];
 
 /// Sums the `PathEngine` counters over every online session in the
@@ -587,9 +590,15 @@ fn cmd_list() {
         let spec = sof_spec::presets::preset(name)
             .expect("listed preset exists")
             .expect("bundled presets are valid");
+        let failures = match &spec.workload {
+            Workload::Online { failures, .. } => failures.is_some(),
+            Workload::ChurnAtScale(s) => s.failures.is_some(),
+            _ => false,
+        };
         println!(
-            "  {name:<22} {:<16} {}",
+            "  {name:<24} {:<16} {:<9} {}",
             spec.workload.kind(),
+            if failures { "failures" } else { "-" },
             spec.description
         );
     }

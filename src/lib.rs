@@ -26,6 +26,10 @@
 //!   drives a `core::SessionPool` over lazily generated event timelines
 //!   (10k+ groups, millions of events) with pluggable stop wards and
 //!   incremental record sinks, in memory bounded by the live pool,
+//! * [`survive`] — the survivability subsystem: deterministic link/node/
+//!   VM/domain failure processes with repair times, protection policies
+//!   (reactive / backup paths / standby forest) over `core::OnlineSession`,
+//!   and recovery/availability metrics,
 //! * [`sdn`] — flow-rule compilation and distributed multi-controller SOFDA,
 //! * [`daemon`] — `sofd`, the long-running embedding service: a
 //!   dependency-free HTTP/1.1 control plane (`sof serve`) over
@@ -131,4 +135,5 @@ pub use sof_sim as sim;
 pub use sof_solvers as solvers;
 pub use sof_spec as spec;
 pub use sof_steiner as steiner;
+pub use sof_survive as survive;
 pub use sof_topo as topo;

@@ -169,6 +169,152 @@ fn malformed_requests_get_4xx() {
     handle.stop();
 }
 
+/// The survivability surface: link/node/domain failures, immediate
+/// repairs, janitor-applied scheduled repairs, and strict 4xx validation
+/// of the element vocabulary.
+#[test]
+fn survivability_fail_and_repair_endpoints() {
+    let handle = start(ServerConfig {
+        janitor_period: Duration::from_millis(50),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::new(handle.addr());
+    c.request("POST", "/v1/topologies", BENCH_TOPO).unwrap();
+    let (status, body) = c.request("POST", "/v1/sessions", SESSION).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // A transit-node failure reports the disconnected destinations and
+    // leaves the forest standing.
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/fail", "{\"node\":1}")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"element\":\"node:1\""), "{body}");
+    assert!(body.contains("\"disconnected\""), "{body}");
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/repair", "{\"node\":1}")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"repaired\":\"node:1\""), "{body}");
+    // Repairing an element that is not failed is a client error.
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/repair", "{\"node\":1}")
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("not a failed node"), "{body}");
+
+    // The topology's graph is seeded, so probe for a real link off node 0
+    // and run the fail → repair round trip on it.
+    let mut linked = None;
+    for u in 1..12 {
+        let (status, body) = c
+            .request(
+                "POST",
+                "/v1/sessions/1/fail",
+                &format!("{{\"link\":[0,{u}]}}"),
+            )
+            .unwrap();
+        if status == 200 {
+            assert!(
+                body.contains(&format!("\"element\":\"link:0-{u}\"")),
+                "{body}"
+            );
+            linked = Some(u);
+            break;
+        }
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("no link between"), "{body}");
+    }
+    let u = linked.expect("node 0 has at least one incident link");
+    let (status, body) = c
+        .request(
+            "POST",
+            "/v1/sessions/1/repair",
+            &format!("{{\"link\":[0,{u}]}}"),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // Domain failures need a regions topology and a known region name…
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/fail", "{\"domain\":\"zz\"}")
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("us-east"), "{body}");
+    // …and skip the request's endpoint nodes instead of erroring on them.
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/fail", "{\"domain\":\"eu-west\"}")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"element\":\"domain:eu-west\""), "{body}");
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/repair", "{\"domain\":\"eu-west\"}")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // Strict element validation: exactly one element key, well-formed
+    // pairs, no unknown fields.
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/fail", "{\"vm\":12,\"node\":1}")
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("exactly one of"), "{body}");
+    let (status, body) = c.request("POST", "/v1/sessions/1/fail", "{}").unwrap();
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/fail", "{\"link\":[3]}")
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("endpoint pair"), "{body}");
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/fail", "{\"link\":[3,3]}")
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("must differ"), "{body}");
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/fail", "{\"node\":0}")
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("source or destination"), "{body}");
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/fail", "{\"node\":2,\"typo\":1}")
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("'typo'"), "{body}");
+
+    // A scheduled repair shows up in the session view and the janitor
+    // applies it once due.
+    let (status, body) = c
+        .request(
+            "POST",
+            "/v1/sessions/1/fail",
+            "{\"node\":2,\"repair_secs\":1}",
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"repair_in_secs\":1"), "{body}");
+    let (status, body) = c.request("GET", "/v1/sessions/1", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"pending_repairs\":1"), "{body}");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        let (_, body) = c.request("GET", "/v1/sessions/1", "").unwrap();
+        if body.contains("\"pending_repairs\":0") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "janitor never repaired: {body}");
+    }
+    // The janitor really repaired it: a manual repair now 400s.
+    let (status, body) = c
+        .request("POST", "/v1/sessions/1/repair", "{\"node\":2}")
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("not a failed node"), "{body}");
+
+    handle.stop();
+}
+
 /// The janitor expires idle sessions past their TTL; touched sessions
 /// live on.
 #[test]
