@@ -1,10 +1,14 @@
 //! The daemon's state: named topologies, live [`OnlineSession`]s with TTL
 //! bookkeeping, and the counters `/v1/stats` serves.
 //!
-//! One registry sits behind a mutex; handlers lock it for the duration of
-//! one operation. The deterministic core is untouched — a session here is
-//! exactly the library's [`OnlineSession`], addressed by id instead of by
-//! ownership.
+//! One registry sits behind a reader-writer lock; handlers hold it for the
+//! duration of one operation. Read-only routes (`GET /v1/sessions/{id}`,
+//! `GET /v1/stats`, `/healthz`) take `&self` — including the TTL renewal a
+//! read performs and the request counting every route performs, which go
+//! through interior mutability — so probes and dashboards never serialize
+//! behind a long-running embed. The deterministic core is untouched — a
+//! session here is exactly the library's [`OnlineSession`], addressed by
+//! id instead of by ownership.
 
 use crate::wire::{ApiError, Body};
 use sof_core::{ArrivalReport, OnlineConfig, OnlineSession, Request, ServiceChain, SofdaConfig};
@@ -16,6 +20,8 @@ use sof_topo::{
     RegionTopology, RegionsParams, ScenarioParams, Topology, TopologySpec,
 };
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A registered topology: either a named library topology or a built
@@ -55,14 +61,22 @@ struct SessionEntry {
     /// Standing forest cost after the latest operation.
     last_cost: f64,
     ttl: Option<Duration>,
-    deadline: Option<Instant>,
+    /// Behind its own lock so a shared-lock `GET` can renew the TTL
+    /// without holding the registry exclusively.
+    deadline: Mutex<Option<Instant>>,
     /// Scheduled repairs the janitor applies once their instant passes.
     repairs: Vec<(Instant, ElementRef)>,
 }
 
 impl SessionEntry {
-    fn touch(&mut self, now: Instant) {
-        self.deadline = self.ttl.map(|t| now + t);
+    fn touch(&self, now: Instant) {
+        let mut deadline = self.deadline.lock().unwrap_or_else(|e| e.into_inner());
+        *deadline = self.ttl.map(|t| now + t);
+    }
+
+    fn expired(&self, now: Instant) -> bool {
+        let deadline = self.deadline.lock().unwrap_or_else(|e| e.into_inner());
+        deadline.is_some_and(|d| now >= d)
     }
 }
 
@@ -87,6 +101,7 @@ fn add_engine(into: &mut PathEngineStats, s: PathEngineStats) {
     into.stale += s.stale;
     into.evictions += s.evictions;
     into.repairs += s.repairs;
+    into.partial_repairs += s.partial_repairs;
 }
 
 /// The daemon's mutable state (topologies, sessions, counters).
@@ -96,7 +111,13 @@ pub struct Registry {
     next_id: u64,
     started: Instant,
     default_ttl: Option<Duration>,
-    stats: DaemonStats,
+    /// Routed-request / error totals; atomic because *every* route counts
+    /// one, including the read-locked ones.
+    requests: AtomicU64,
+    errors: AtomicU64,
+    sessions_created: u64,
+    sessions_expired: u64,
+    sessions_deleted: u64,
     /// Engine counters of sessions that already left the registry, so
     /// `/v1/stats` never goes backwards.
     retired_engine: PathEngineStats,
@@ -109,6 +130,7 @@ fn engine_value(s: PathEngineStats) -> Value {
     v.set("stale", Value::Int(s.stale as i64));
     v.set("evictions", Value::Int(s.evictions as i64));
     v.set("repairs", Value::Int(s.repairs as i64));
+    v.set("partial_repairs", Value::Int(s.partial_repairs as i64));
     v
 }
 
@@ -228,17 +250,33 @@ impl Registry {
             next_id: 1,
             started: Instant::now(),
             default_ttl,
-            stats: DaemonStats::default(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            sessions_created: 0,
+            sessions_expired: 0,
+            sessions_deleted: 0,
             retired_engine: PathEngineStats::default(),
         }
     }
 
     /// Counts one routed request (and optionally one error) for
-    /// `/v1/stats`.
-    pub fn count(&mut self, is_error: bool) {
-        self.stats.requests += 1;
+    /// `/v1/stats`. Takes `&self` — counting happens on every route, so it
+    /// must not force read-only routes onto the exclusive lock.
+    pub fn count(&self, is_error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
         if is_error {
-            self.stats.errors += 1;
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent snapshot of the lifecycle counters.
+    pub fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            sessions_created: self.sessions_created,
+            sessions_expired: self.sessions_expired,
+            sessions_deleted: self.sessions_deleted,
         }
     }
 
@@ -419,17 +457,17 @@ impl Registry {
         let id = self.next_id;
         self.next_id += 1;
         let now = Instant::now();
-        let mut entry = SessionEntry {
+        let entry = SessionEntry {
             topology,
             session,
             last_cost: report.forest_cost,
             ttl,
-            deadline: None,
+            deadline: Mutex::new(None),
             repairs: Vec::new(),
         };
         entry.touch(now);
         self.sessions.insert(id, entry);
-        self.stats.sessions_created += 1;
+        self.sessions_created += 1;
         Ok(report_value(id, &report))
     }
 
@@ -619,8 +657,11 @@ impl Registry {
     /// # Errors
     ///
     /// 404 for an unknown session.
-    pub fn session_get(&mut self, id: u64) -> Result<Value, ApiError> {
-        let entry = self.entry(id)?;
+    pub fn session_get(&self, id: u64) -> Result<Value, ApiError> {
+        let entry = self
+            .sessions
+            .get(&id)
+            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))?;
         entry.touch(Instant::now());
         let stats = *entry.session.stats();
         let req = &entry.session.instance().request;
@@ -682,7 +723,7 @@ impl Registry {
             .remove(&id)
             .ok_or_else(|| ApiError::not_found(format!("no session {id}")))?;
         self.retire(entry);
-        self.stats.sessions_deleted += 1;
+        self.sessions_deleted += 1;
         let mut v = Value::table();
         v.set("deleted", Value::Int(id as i64));
         Ok(v)
@@ -718,13 +759,13 @@ impl Registry {
         let dead: Vec<u64> = self
             .sessions
             .iter()
-            .filter(|(_, e)| e.deadline.is_some_and(|d| now >= d))
+            .filter(|(_, e)| e.expired(now))
             .map(|(&id, _)| id)
             .collect();
         for id in &dead {
             let entry = self.sessions.remove(id).expect("listed above");
             self.retire(entry);
-            self.stats.sessions_expired += 1;
+            self.sessions_expired += 1;
         }
         dead.len()
     }
@@ -750,13 +791,14 @@ impl Registry {
             "uptime_secs",
             Value::Float(self.started.elapsed().as_secs_f64()),
         );
-        v.set("requests", Value::Int(self.stats.requests as i64));
-        v.set("errors", Value::Int(self.stats.errors as i64));
+        let st = self.stats();
+        v.set("requests", Value::Int(st.requests as i64));
+        v.set("errors", Value::Int(st.errors as i64));
         let mut s = Value::table();
         s.set("live", Value::Int(self.sessions.len() as i64));
-        s.set("created", Value::Int(self.stats.sessions_created as i64));
-        s.set("expired", Value::Int(self.stats.sessions_expired as i64));
-        s.set("deleted", Value::Int(self.stats.sessions_deleted as i64));
+        s.set("created", Value::Int(st.sessions_created as i64));
+        s.set("expired", Value::Int(st.sessions_expired as i64));
+        s.set("deleted", Value::Int(st.sessions_deleted as i64));
         v.set("sessions", s);
         v.set("topologies", Value::Int(self.topologies.len() as i64));
         let mut engine = self.retired_engine;

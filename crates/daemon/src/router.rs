@@ -10,12 +10,19 @@ use crate::wire::{ApiError, Body};
 use sof_spec::value::{write_json, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-/// Locks the registry, recovering from a poisoned mutex — a panicking
-/// handler must not brick the whole daemon.
-pub fn lock(registry: &Mutex<Registry>) -> MutexGuard<'_, Registry> {
-    registry.lock().unwrap_or_else(|e| e.into_inner())
+/// Takes the registry's shared lock, recovering from poisoning — a
+/// panicking handler must not brick the whole daemon. Read-only routes
+/// (and the per-route request counting) go through here so they never
+/// queue behind an embed.
+pub fn read(registry: &RwLock<Registry>) -> RwLockReadGuard<'_, Registry> {
+    registry.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Takes the registry's exclusive lock, recovering from poisoning.
+pub fn write(registry: &RwLock<Registry>) -> RwLockWriteGuard<'_, Registry> {
+    registry.write().unwrap_or_else(|e| e.into_inner())
 }
 
 fn method_not_allowed(req: &Request, allowed: &str) -> ApiError {
@@ -34,7 +41,7 @@ fn session_id(seg: &str) -> Result<u64, ApiError> {
 }
 
 fn dispatch(
-    registry: &Mutex<Registry>,
+    registry: &RwLock<Registry>,
     stop: &AtomicBool,
     req: &Request,
 ) -> Result<Value, ApiError> {
@@ -42,26 +49,26 @@ fn dispatch(
     let method = req.method.as_str();
     match segments.as_slice() {
         ["healthz"] => match method {
-            "GET" => Ok(lock(registry).healthz()),
+            "GET" => Ok(read(registry).healthz()),
             _ => Err(method_not_allowed(req, "GET")),
         },
         ["v1", "stats"] => match method {
-            "GET" => Ok(lock(registry).stats_value()),
+            "GET" => Ok(read(registry).stats_value()),
             _ => Err(method_not_allowed(req, "GET")),
         },
         ["v1", "topologies"] => match method {
-            "POST" => lock(registry).create_topology(Body::parse(&req.body)?),
+            "POST" => write(registry).create_topology(Body::parse(&req.body)?),
             _ => Err(method_not_allowed(req, "POST")),
         },
         ["v1", "sessions"] => match method {
-            "POST" => lock(registry).create_session(Body::parse(&req.body)?),
+            "POST" => write(registry).create_session(Body::parse(&req.body)?),
             _ => Err(method_not_allowed(req, "POST")),
         },
         ["v1", "sessions", id] => {
             let id = session_id(id)?;
             match method {
-                "GET" => lock(registry).session_get(id),
-                "DELETE" => lock(registry).session_delete(id),
+                "GET" => read(registry).session_get(id),
+                "DELETE" => write(registry).session_delete(id),
                 _ => Err(method_not_allowed(req, "GET or DELETE")),
             }
         }
@@ -72,10 +79,10 @@ fn dispatch(
             }
             let body = Body::parse(&req.body)?;
             match *op {
-                "join" => lock(registry).session_join(id, body),
-                "leave" => lock(registry).session_leave(id, body),
-                "fail" => lock(registry).session_fail(id, body),
-                _ => lock(registry).session_repair(id, body),
+                "join" => write(registry).session_join(id, body),
+                "leave" => write(registry).session_leave(id, body),
+                "fail" => write(registry).session_fail(id, body),
+                _ => write(registry).session_repair(id, body),
             }
         }
         ["v1", "shutdown"] => match method {
@@ -97,7 +104,7 @@ fn dispatch(
 
 /// Routes one request and returns `(status, JSON body)`. Handler panics
 /// become 500s; every response is counted in the registry's totals.
-pub fn route(registry: &Mutex<Registry>, stop: &AtomicBool, req: &Request) -> (u16, String) {
+pub fn route(registry: &RwLock<Registry>, stop: &AtomicBool, req: &Request) -> (u16, String) {
     let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(registry, stop, req)));
     let (status, body) = match outcome {
         Ok(Ok(value)) => (200, write_json(&value)),
@@ -110,6 +117,6 @@ pub fn route(registry: &Mutex<Registry>, stop: &AtomicBool, req: &Request) -> (u
             (e.status, e.to_json())
         }
     };
-    lock(registry).count(status >= 400);
+    read(registry).count(status >= 400);
     (status, body)
 }

@@ -14,7 +14,7 @@ use crate::wire::ApiError;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -70,7 +70,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let registry = Arc::new(Mutex::new(Registry::new(config.default_ttl)));
+        let registry = Arc::new(RwLock::new(Registry::new(config.default_ttl)));
 
         let accept = {
             let registry = Arc::clone(&registry);
@@ -153,7 +153,7 @@ impl Drop for ServerHandle {
 
 fn accept_loop(
     listener: TcpListener,
-    registry: Arc<Mutex<Registry>>,
+    registry: Arc<RwLock<Registry>>,
     stop: Arc<AtomicBool>,
     config: ServerConfig,
 ) {
@@ -194,7 +194,7 @@ fn accept_loop(
     }
 }
 
-fn janitor_loop(registry: Arc<Mutex<Registry>>, stop: Arc<AtomicBool>, period: Duration) {
+fn janitor_loop(registry: Arc<RwLock<Registry>>, stop: Arc<AtomicBool>, period: Duration) {
     let nap = period.min(Duration::from_millis(25));
     let mut slept = Duration::ZERO;
     loop {
@@ -205,14 +205,14 @@ fn janitor_loop(registry: Arc<Mutex<Registry>>, stop: Arc<AtomicBool>, period: D
         slept += nap;
         if slept >= period {
             slept = Duration::ZERO;
-            router::lock(&registry).expire(std::time::Instant::now());
+            router::write(&registry).expire(std::time::Instant::now());
         }
     }
 }
 
 fn handle_connection(
     mut stream: TcpStream,
-    registry: &Mutex<Registry>,
+    registry: &RwLock<Registry>,
     stop: &AtomicBool,
     config: &ServerConfig,
 ) {
@@ -237,13 +237,13 @@ fn handle_connection(
                         config.read_timeout.as_secs_f64()
                     ),
                 };
-                router::lock(registry).count(true);
+                router::read(registry).count(true);
                 let _ = http::write_response(&mut stream, e.status, &e.to_json(), false);
                 return;
             }
             Err(ReadError::Bad { status, message }) => {
                 let e = ApiError { status, message };
-                router::lock(registry).count(true);
+                router::read(registry).count(true);
                 let _ = http::write_response(&mut stream, e.status, &e.to_json(), false);
                 return;
             }

@@ -1,8 +1,17 @@
 //! Single-source and multi-source Dijkstra shortest paths.
 
-use crate::{Cost, EdgeId, Graph, NodeId};
+use crate::{Cost, CostChange, EdgeId, Graph, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Repair bails out once the affected region exceeds this fraction of the
+/// node count — beyond it a fresh run's simple sweep beats the repair
+/// pass's bookkeeping (see [`DijkstraWorkspace::repair`]).
+const REGION_FRACTION: usize = 4;
+
+/// Graphs are never too small to repair: the region may always grow to
+/// this many vertices regardless of [`REGION_FRACTION`].
+const REGION_FLOOR: usize = 8;
 
 /// Result of a (multi-source) Dijkstra run.
 ///
@@ -217,6 +226,12 @@ pub struct DijkstraWorkspace {
     len: usize,
     runs: u64,
     grows: u64,
+    /// Scratch for [`DijkstraWorkspace::repair`]: the affected region in
+    /// discovery order, plus a child-list CSR over the old tree's parent
+    /// pointers (offsets and flattened child ids).
+    region: Vec<NodeId>,
+    kid_off: Vec<u32>,
+    kids: Vec<u32>,
 }
 
 impl DijkstraWorkspace {
@@ -386,6 +401,222 @@ impl DijkstraWorkspace {
         }
     }
 
+    /// Dynamic-SSSP tree repair (Ramalingam–Reps style): given the tree
+    /// `old` previously computed for `sources` and the cost-journal slice
+    /// `changes` that separates it from `graph`'s current costs, rebuilds
+    /// only the *affected region* and returns a tree **bit-identical to a
+    /// fresh Dijkstra** — distances, parent hops, Voronoi sites and every
+    /// tie-break included (the identity argument lives in
+    /// `docs/DYNSSSP.md`).
+    ///
+    /// Returns `None` when repairing is not worthwhile: the affected
+    /// region (dirty seeds plus their whole old-tree subtrees) exceeds
+    /// `max(8, n / 4)` vertices, or `old` does not cover the graph. The
+    /// caller then falls back to a cold run.
+    ///
+    /// The pass reuses the workspace's heap and stamp buffers (the stamp
+    /// array doubles as the region marker), so its only O(n) work is the
+    /// child-list pass and the output clone — the price a cache miss pays
+    /// for its snapshot anyway. The workspace's previous run is
+    /// invalidated, exactly as a fresh [`run`](DijkstraWorkspace::run)
+    /// would invalidate it.
+    pub fn repair(
+        &mut self,
+        graph: &Graph,
+        old: &ShortestPaths,
+        sources: &[NodeId],
+        changes: &[CostChange],
+    ) -> Option<ShortestPaths> {
+        let n = graph.node_count();
+        if old.len() != n {
+            return None;
+        }
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, Cost::INFINITY);
+            self.parent.resize(n, None);
+            self.site.resize(n, None);
+            self.grows += 1;
+        }
+        let cap = REGION_FLOOR.max(n / REGION_FRACTION);
+        self.epoch += 1;
+        self.heap.clear();
+        self.region.clear();
+
+        // Phase 1a: seed the region with every vertex a dirtied edge can
+        // invalidate. Per direction x→y of a changed edge with current
+        // cost c: the tree hop into y was repriced off its label, or a
+        // non-tree hop now wins or ties a relaxation into y (`<=` keeps
+        // tie flips, which can move parents and sites without moving
+        // distances).
+        for ch in changes {
+            let edge = graph.edge(ch.edge);
+            let c = edge.cost;
+            for (x, y) in [(edge.u, edge.v), (edge.v, edge.u)] {
+                let (dx, dy) = (old.dist(x), old.dist(y));
+                let dirty = if old.parent(y) == Some((x, ch.edge)) {
+                    dx + c != dy
+                } else {
+                    dx.is_finite() && dx + c <= dy
+                };
+                if dirty && self.stamp[y.index()] != self.epoch {
+                    self.stamp[y.index()] = self.epoch;
+                    self.region.push(y);
+                    if self.region.len() > cap {
+                        self.epoch += 1;
+                        return None;
+                    }
+                }
+            }
+        }
+        if self.region.is_empty() {
+            // Every change provably lost every relaxation: the old tree
+            // is the fresh tree.
+            return Some(old.clone());
+        }
+
+        // Phase 1b: close the region downward. Every old-tree descendant
+        // of a dirty vertex inherited its label through it, so it must be
+        // relabelled too. Child lists come from one counting pass over
+        // the parent array (CSR layout in kid_off/kids).
+        self.kid_off.clear();
+        self.kid_off.resize(n + 1, 0);
+        for v in 0..n {
+            if let Some((p, _)) = old.parent[v] {
+                self.kid_off[p.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            self.kid_off[i + 1] += self.kid_off[i];
+        }
+        self.kids.clear();
+        self.kids.resize(n, 0);
+        for v in 0..n {
+            if let Some((p, _)) = old.parent[v] {
+                let slot = self.kid_off[p.index()];
+                self.kids[slot as usize] = v as u32;
+                self.kid_off[p.index()] += 1;
+            }
+        }
+        // After the fill, kid_off[p] is the END of p's child range and
+        // the start is kid_off[p - 1] (0 for p == 0).
+        let mut cursor = 0;
+        while cursor < self.region.len() {
+            let x = self.region[cursor].index();
+            cursor += 1;
+            let start = if x == 0 { 0 } else { self.kid_off[x - 1] };
+            for i in start..self.kid_off[x] {
+                let k = self.kids[i as usize] as usize;
+                if self.stamp[k] != self.epoch {
+                    self.stamp[k] = self.epoch;
+                    self.region.push(NodeId::new(k));
+                    if self.region.len() > cap {
+                        self.epoch += 1;
+                        return None;
+                    }
+                }
+            }
+        }
+
+        // Phase 2: restricted Dijkstra. Labels live in a clone of the old
+        // tree; region labels are invalidated, region sources re-seeded,
+        // and every still-valid vertex adjacent to the region enters the
+        // heap at its old label — the same (dist, node) key a full run
+        // would pop it with.
+        let mut sp = old.clone();
+        for &v in &self.region {
+            sp.dist[v.index()] = Cost::INFINITY;
+            sp.parent[v.index()] = None;
+            sp.site[v.index()] = None;
+        }
+        for &s in sources {
+            if self.stamp[s.index()] == self.epoch {
+                sp.dist[s.index()] = Cost::ZERO;
+                sp.site[s.index()] = Some(s);
+                self.heap.push(Reverse((Cost::ZERO, s)));
+            }
+        }
+        for &v in &self.region {
+            for (b, _) in graph.neighbors(v) {
+                let bi = b.index();
+                if self.stamp[bi] != self.epoch && sp.dist[bi].is_finite() {
+                    self.heap.push(Reverse((sp.dist[bi], b)));
+                }
+            }
+        }
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if d > sp.dist[u.index()] {
+                continue;
+            }
+            let su = sp.site[u.index()];
+            for (v, e) in graph.neighbors(u) {
+                let vi = v.index();
+                let nd = d + graph.edge_cost(e);
+                if nd < sp.dist[vi] {
+                    // Plain fresh semantics; a still-valid vertex that
+                    // improves joins the region from here on.
+                    self.stamp[vi] = self.epoch;
+                    sp.dist[vi] = nd;
+                    sp.parent[vi] = Some((u, e));
+                    sp.site[vi] = su;
+                    self.heap.push(Reverse((nd, v)));
+                } else if nd == sp.dist[vi] {
+                    // A tie. A fresh run parents v on the first proposer in
+                    // *pop* order, and pop order equals (dist, node) key
+                    // order except for vertices whose own parent hop costs
+                    // zero: those are discovered through an equal-distance
+                    // plateau and enter the heap later than their key
+                    // suggests. When such a "displaced" vertex takes part
+                    // in an equal-key contest, no local rule can
+                    // reconstruct the fresh order — give up and let the
+                    // caller run cold. (Zero-cost edges are a modeling
+                    // idiom here: VM nodes attach to their datacenter at
+                    // cost zero, so ordinary repairs must survive them; a
+                    // leaf VM never contests anything, and the bail below
+                    // fires only on genuine plateau ambiguity, e.g. a
+                    // source VM whose zero chain fans out.)
+                    let displaced = |sp: &ShortestPaths, x: NodeId| {
+                        sp.parent[x.index()]
+                            .is_some_and(|(px, _)| sp.dist[px.index()] == sp.dist[x.index()])
+                    };
+                    if let Some((p, pe)) = sp.parent[vi] {
+                        if d == sp.dist[p.index()] && (displaced(&sp, u) || displaced(&sp, p)) {
+                            self.epoch += 1;
+                            return None;
+                        }
+                        if self.stamp[vi] != self.epoch {
+                            // Still-valid label: flip when this candidate's
+                            // key strictly beats the stored parent's, and
+                            // cascade site changes through unchanged parent
+                            // hops (they move Voronoi ownership without
+                            // moving distances). Region labels keep their
+                            // first proposer — same as a fresh run's
+                            // strict-< rule.
+                            if p == u && pe == e {
+                                if sp.site[vi] != su {
+                                    sp.site[vi] = su;
+                                    self.heap.push(Reverse((nd, v)));
+                                }
+                            } else if (d, u) < (sp.dist[p.index()], p) {
+                                sp.parent[vi] = Some((u, e));
+                                if sp.site[vi] != su {
+                                    sp.site[vi] = su;
+                                }
+                                self.heap.push(Reverse((nd, v)));
+                            }
+                        }
+                    }
+                    // A source (no parent) never gains one on a tie.
+                }
+            }
+        }
+        // The stamp array was borrowed as the region marker, so the
+        // workspace's label arrays no longer correspond to it; retire the
+        // epoch so the accessors read as "no run" rather than garbage.
+        self.epoch += 1;
+        Some(sp)
+    }
+
     /// Number of runs performed.
     pub fn runs(&self) -> u64 {
         self.runs
@@ -538,6 +769,202 @@ mod tests {
                 }
             }
             assert_eq!(ws.grows(), 1);
+        }
+    }
+
+    /// Repaired trees must match a fresh run on every label — distance,
+    /// parent hop, and site — not just distances.
+    fn assert_tree_identical(g: &Graph, got: &ShortestPaths, want: &ShortestPaths, ctx: &str) {
+        for v in g.nodes() {
+            assert_eq!(got.dist(v), want.dist(v), "{ctx}: dist of {v}");
+            assert_eq!(got.parent(v), want.parent(v), "{ctx}: parent of {v}");
+            assert_eq!(got.site(v), want.site(v), "{ctx}: site of {v}");
+        }
+    }
+
+    #[test]
+    fn repair_matches_fresh_after_reprice() {
+        let mut g = diamond();
+        let srcs = [NodeId::new(0)];
+        let old = ShortestPaths::from_sources(&g, srcs);
+        let e0 = g.cost_epoch();
+        // Reprice the 0-1 edge up so the 0-2 direct edge wins.
+        g.set_edge_cost(EdgeId::new(0), Cost::new(9.0));
+        let changes = g.cost_changes_since(e0).unwrap().to_vec();
+        let mut ws = DijkstraWorkspace::new();
+        let repaired = ws
+            .repair(&g, &old, &srcs, &changes)
+            .expect("region is tiny");
+        let fresh = ShortestPaths::from_sources(&g, srcs);
+        assert_tree_identical(&g, &repaired, &fresh, "reprice up");
+        assert_eq!(repaired.dist(NodeId::new(2)), Cost::new(5.0));
+    }
+
+    #[test]
+    fn repair_handles_losing_and_winning_changes() {
+        let mut g = diamond();
+        let srcs = [NodeId::new(0)];
+        let old = ShortestPaths::from_sources(&g, srcs);
+        let e0 = g.cost_epoch();
+        // A non-tree edge getting *worse* provably changes nothing...
+        g.set_edge_cost(EdgeId::new(2), Cost::new(50.0));
+        let changes = g.cost_changes_since(e0).unwrap().to_vec();
+        let mut ws = DijkstraWorkspace::new();
+        let repaired = ws.repair(&g, &old, &srcs, &changes).unwrap();
+        assert_tree_identical(&g, &repaired, &old, "losing change");
+        // ...while the same edge getting *better* flips node 2's parent.
+        let e1 = g.cost_epoch();
+        g.set_edge_cost(EdgeId::new(2), Cost::new(0.5));
+        let changes = g.cost_changes_since(e1).unwrap().to_vec();
+        let repaired = ws.repair(&g, &old, &srcs, &changes).unwrap();
+        let fresh = ShortestPaths::from_sources(&g, srcs);
+        assert_tree_identical(&g, &repaired, &fresh, "winning change");
+        assert_eq!(
+            repaired.parent(NodeId::new(2)),
+            Some((NodeId::new(0), EdgeId::new(2)))
+        );
+    }
+
+    #[test]
+    fn repair_preserves_tie_breaks_and_sites() {
+        // Path 0-1-2-3-4 with sources at both ends; repricing 3-4 moves
+        // the Voronoi boundary, and tie-breaks at the midpoint must come
+        // out exactly as a fresh run's.
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1), Cost::new(1.0));
+        }
+        let srcs = [NodeId::new(0), NodeId::new(4)];
+        let old = ShortestPaths::from_sources(&g, srcs);
+        let e0 = g.cost_epoch();
+        g.set_edge_cost(EdgeId::new(3), Cost::new(3.0));
+        let changes = g.cost_changes_since(e0).unwrap().to_vec();
+        let mut ws = DijkstraWorkspace::new();
+        let repaired = ws.repair(&g, &old, &srcs, &changes).unwrap();
+        let fresh = ShortestPaths::from_sources(&g, srcs);
+        assert_tree_identical(&g, &repaired, &fresh, "tie after reprice");
+        // The tie at node 3 goes to source 4: it proposed first (popped at
+        // distance 0) and fresh Dijkstra never overwrites on equality.
+        assert_eq!(repaired.site(NodeId::new(3)), Some(NodeId::new(4)));
+    }
+
+    #[test]
+    fn repair_survives_leaf_vm_zero_edges() {
+        // The codebase attaches VM nodes to their datacenter at cost zero;
+        // a leaf behind a zero edge never contests a tie, so repairs must
+        // keep working in its presence. 0 --3(e0)-- 1 --0(e1)-- 2 (vm),
+        // 0 --1(e2)-- 3 --1(e3)-- 1.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1), Cost::new(3.0));
+        g.add_edge(NodeId::new(1), NodeId::new(2), Cost::ZERO);
+        g.add_edge(NodeId::new(0), NodeId::new(3), Cost::new(1.0));
+        g.add_edge(NodeId::new(3), NodeId::new(1), Cost::new(1.0));
+        let srcs = [NodeId::new(0)];
+        let old = ShortestPaths::from_sources(&g, srcs);
+        assert_eq!(old.dist(NodeId::new(2)), Cost::new(2.0));
+        let e0 = g.cost_epoch();
+        // Repricing the 3-1 hop dirties node 1 and its vm child.
+        g.set_edge_cost(EdgeId::new(3), Cost::new(5.0));
+        let changes = g.cost_changes_since(e0).unwrap().to_vec();
+        let mut ws = DijkstraWorkspace::new();
+        let repaired = ws
+            .repair(&g, &old, &srcs, &changes)
+            .expect("a leaf vm plateau must not block the repair");
+        let fresh = ShortestPaths::from_sources(&g, srcs);
+        assert_tree_identical(&g, &repaired, &fresh, "leaf vm zero edge");
+        assert_eq!(repaired.dist(NodeId::new(2)), Cost::new(3.0));
+    }
+
+    #[test]
+    fn repair_bails_on_ambiguous_zero_cost_plateau() {
+        // A source VM whose zero chain fans out: 3 --0(e0)-- 0 --0(e1)-- 2,
+        // plus positive edges 1-0 and 1-2. Every vertex on the plateau
+        // {3, 0, 2} sits at distance zero, and a fresh run settles their
+        // parent contests by *discovery* order — which the repair cannot
+        // reconstruct locally, so it must refuse rather than guess.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId::new(3), NodeId::new(0), Cost::ZERO);
+        g.add_edge(NodeId::new(0), NodeId::new(2), Cost::ZERO);
+        g.add_edge(NodeId::new(1), NodeId::new(0), Cost::new(5.0));
+        g.add_edge(NodeId::new(1), NodeId::new(2), Cost::new(4.0));
+        let srcs = [NodeId::new(3)];
+        let old = ShortestPaths::from_sources(&g, srcs);
+        assert_eq!(
+            old.parent(NodeId::new(2)),
+            Some((NodeId::new(0), EdgeId::new(1)))
+        );
+        let e0 = g.cost_epoch();
+        // Reprice node 1's tree hop so its relabelling walks the plateau
+        // boundary, where the displaced-vertex contests live.
+        g.set_edge_cost(EdgeId::new(3), Cost::new(6.0));
+        let changes = g.cost_changes_since(e0).unwrap().to_vec();
+        let mut ws = DijkstraWorkspace::new();
+        assert!(
+            ws.repair(&g, &old, &srcs, &changes).is_none(),
+            "ambiguous plateau ties must fall back to a cold run"
+        );
+        // The workspace stays reusable after the bail.
+        ws.run(&g, srcs);
+        let fresh = ShortestPaths::from_sources(&g, srcs);
+        assert_tree_identical(&g, &ws.snapshot(), &fresh, "post-bail run");
+    }
+
+    #[test]
+    fn repair_bails_when_region_is_large_or_graph_changed_shape() {
+        let mut rng = crate::Rng64::seed_from(7);
+        let mut g =
+            crate::generators::gnp_connected(60, 0.1, crate::CostRange::new(1.0, 7.0), &mut rng);
+        let srcs = [NodeId::new(0)];
+        let old = ShortestPaths::from_sources(&g, srcs);
+        let e0 = g.cost_epoch();
+        // Reprice a big slice of the edge set: the dirty region blows
+        // past max(8, n/4) and the caller must fall back to a cold run.
+        let m = g.edge_count();
+        for e in 0..m / 2 {
+            let c = g.edge_cost(EdgeId::new(e));
+            g.set_edge_cost(EdgeId::new(e), c + Cost::new(3.0));
+        }
+        let changes = g.cost_changes_since(e0).unwrap().to_vec();
+        let mut ws = DijkstraWorkspace::new();
+        assert!(ws.repair(&g, &old, &srcs, &changes).is_none());
+        // A tree sized for a smaller graph is rejected outright.
+        g.add_node();
+        assert!(ws.repair(&g, &old, &srcs, &[]).is_none());
+    }
+
+    #[test]
+    fn repair_matches_fresh_on_random_reprice_batches() {
+        for seed in 0..8u64 {
+            let mut rng = crate::Rng64::seed_from(seed);
+            let mut g = crate::generators::gnp_connected(
+                50,
+                0.1,
+                crate::CostRange::new(1.0, 7.0),
+                &mut rng,
+            );
+            let srcs: Vec<NodeId> = vec![NodeId::new(1), NodeId::new(29)];
+            let mut ws = DijkstraWorkspace::new();
+            let mut old = ShortestPaths::from_sources(&g, srcs.iter().copied());
+            for round in 0..10 {
+                let e0 = g.cost_epoch();
+                for _ in 0..3 {
+                    let e = EdgeId::new((rng.next_u64() as usize) % g.edge_count());
+                    let delta = ((rng.next_u64() % 9) as f64 - 4.0) / 2.0;
+                    let c = (g.edge_cost(e).value() + delta).max(0.5);
+                    g.set_edge_cost(e, Cost::new(c));
+                }
+                let changes = g.cost_changes_since(e0).unwrap().to_vec();
+                let fresh = ShortestPaths::from_sources(&g, srcs.iter().copied());
+                if let Some(repaired) = ws.repair(&g, &old, &srcs, &changes) {
+                    assert_tree_identical(
+                        &g,
+                        &repaired,
+                        &fresh,
+                        &format!("seed {seed} round {round}"),
+                    );
+                }
+                old = fresh;
+            }
         }
     }
 

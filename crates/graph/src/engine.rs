@@ -119,6 +119,12 @@ pub struct PathEngineStats {
     /// Stale entries revalidated without a Dijkstra: every journaled dirty
     /// edge was provably unable to change the tree (see the module docs).
     pub repairs: u64,
+    /// Misses answered by the dynamic-SSSP repair pass instead of a cold
+    /// Dijkstra: only the affected region was re-relaxed (see
+    /// [`DijkstraWorkspace::repair`]). Counted *in addition to* `misses`
+    /// and `stale` — the repaired tree is bit-identical to the cold
+    /// solve it replaced, so downstream counters are unchanged.
+    pub partial_repairs: u64,
 }
 
 #[derive(Debug, Default)]
@@ -200,6 +206,28 @@ impl PathEngine {
                 return paths;
             }
             inner.stats.stale += 1;
+            // Middle tier: dynamic-SSSP repair. The newest entry whose
+            // lineage is still journaled gets its affected region
+            // re-relaxed in place of a cold Dijkstra — bit-identical
+            // output (docs/DYNSSSP.md), so only `partial_repairs` can
+            // tell the difference.
+            let candidate = entries.iter().rev().find_map(|(e0, paths)| {
+                graph
+                    .cost_changes_since(*e0)
+                    .map(|changes| (Arc::clone(paths), changes))
+            });
+            if let Some((old, changes)) = candidate {
+                if let Some(repaired) = inner.workspace.repair(graph, &old, key, changes) {
+                    inner.stats.misses += 1;
+                    inner.stats.partial_repairs += 1;
+                    let paths = Arc::new(repaired);
+                    entries.push((epoch, Arc::clone(&paths)));
+                    if entries.len() > EPOCHS_PER_SET {
+                        entries.remove(0);
+                    }
+                    return paths;
+                }
+            }
         }
         inner.stats.misses += 1;
         inner.workspace.run(graph, key.iter().copied());
@@ -371,6 +399,42 @@ mod tests {
             "an improving edge forces recompute"
         );
         assert_eq!(t0c.dist(NodeId::new(3)), Cost::new(2.0));
+    }
+
+    #[test]
+    fn affected_trees_are_partially_repaired() {
+        // Repricing one edge of a 12-node line dirties a small region:
+        // the stale miss must be answered by the repair pass, not a cold
+        // Dijkstra, and the tree must still be exactly the fresh one.
+        let mut g = line(12);
+        let engine = PathEngine::new();
+        let s = NodeId::new(0);
+        let before = engine.from_source(&g, s);
+        let e = g.edge_between(NodeId::new(9), NodeId::new(10)).unwrap();
+        g.set_edge_cost(e, Cost::new(4.0));
+        let after = engine.from_source(&g, s);
+        assert!(!Arc::ptr_eq(&before, &after));
+        let stats = engine.stats();
+        assert_eq!(
+            (stats.misses, stats.stale, stats.partial_repairs),
+            (2, 1, 1),
+            "the stale miss must go through the repair pass: {stats:?}"
+        );
+        let fresh = ShortestPaths::from_source(&g, s);
+        for v in g.nodes() {
+            assert_eq!(after.dist(v), fresh.dist(v));
+            assert_eq!(after.parent(v), fresh.parent(v));
+            assert_eq!(after.site(v), fresh.site(v));
+        }
+        // The repaired entry is a first-class cache citizen: same epoch
+        // queries hit it.
+        assert!(Arc::ptr_eq(&after, &engine.from_source(&g, s)));
+        // Structural mutations sever the journal, so the next stale miss
+        // falls back to a cold solve (partial_repairs unchanged).
+        g.add_edge(NodeId::new(0), NodeId::new(11), Cost::new(0.5));
+        let rerouted = engine.from_source(&g, s);
+        assert_eq!(rerouted.dist(NodeId::new(11)), Cost::new(0.5));
+        assert_eq!(engine.stats().partial_repairs, 1);
     }
 
     #[test]

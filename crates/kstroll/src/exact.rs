@@ -82,6 +82,16 @@ struct ExactWorkspace {
     rows: Vec<Vec<usize>>,
     used: Vec<bool>,
     path: Vec<usize>,
+    /// `cheap[r]` = sum of the `r` globally smallest hop costs — an
+    /// admissible lower bound on any `r` distinct remaining hops. Built
+    /// once per workspace for `k >= 4` searches (empty otherwise); any
+    /// admissible bound prunes only branches that cannot *strictly* beat
+    /// the incumbent, so strengthening it never changes which stroll is
+    /// returned, tie-breaks included.
+    cheap: Vec<Cost>,
+    /// Cheapest incoming hop per node: `min_in[t]` bounds the closing hop
+    /// into target `t`. Built together with `cheap`.
+    min_in: Vec<Cost>,
 }
 
 impl ExactWorkspace {
@@ -90,6 +100,8 @@ impl ExactWorkspace {
             rows: vec![Vec::new(); n],
             used: vec![false; n],
             path: Vec::with_capacity(8),
+            cheap: Vec::new(),
+            min_in: Vec::new(),
         }
     }
 
@@ -103,6 +115,47 @@ impl ExactWorkspace {
                 None => row.sort_by_key(|&w| metric.cost(v, w)),
             }
             self.rows[v] = row;
+        }
+    }
+
+    /// Builds the pruning tables (`cheap` prefix sums up to `k - 1` hops
+    /// plus per-node cheapest incoming hop) from one O(n²) scan. Only
+    /// worthwhile when the DFS has at least two interior levels to prune
+    /// (`k >= 4`); the scan amortizes over the `n × n^(k-2)` search nodes
+    /// it guards.
+    fn ensure_bounds<M: Metric + ?Sized>(&mut self, metric: &M, k: usize) {
+        if self.cheap.len() >= k {
+            return;
+        }
+        let n = metric.len();
+        let mut all: Vec<Cost> = Vec::with_capacity(n * n.saturating_sub(1));
+        self.min_in.clear();
+        self.min_in.resize(n, Cost::INFINITY);
+        for i in 0..n {
+            let row = metric.row(i);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let c = match row {
+                    Some(r) => r[j],
+                    None => metric.cost(i, j),
+                };
+                all.push(c);
+                if c < self.min_in[j] {
+                    self.min_in[j] = c;
+                }
+            }
+        }
+        all.sort_unstable();
+        self.cheap.clear();
+        self.cheap.push(Cost::ZERO);
+        for r in 1..k {
+            let prev = self.cheap[r - 1];
+            self.cheap.push(match all.get(r - 1) {
+                Some(&c) => prev + c,
+                None => Cost::INFINITY,
+            });
         }
     }
 }
@@ -131,6 +184,13 @@ fn exact_stroll_with<M: Metric + ?Sized>(
     // Admissible per-hop lower bound supplied by the metric (the cheapest
     // off-diagonal hop for dense instances, zero for lazy ones).
     let min_edge = metric.hop_lower_bound();
+
+    // With two or more interior levels the search is deep enough that the
+    // stronger distinct-hops + closing-hop tables pay for their O(n²)
+    // build; below that the flat `min_edge` bound stays.
+    if k >= 4 {
+        ws.ensure_bounds(metric, k);
+    }
 
     // Borrow every row once up front: the DFS below visits up to millions
     // of nodes, and fetching the row inside the recursion (one virtual call
@@ -175,10 +235,22 @@ fn exact_stroll_with<M: Metric + ?Sized>(
             }
             return;
         }
-        // Lower bound: every remaining hop (including closing) costs at
-        // least `min_edge`.
+        // Lower bound on the remaining hops. With the pruning tables
+        // built: the `remaining` interior hops are distinct, so they sum
+        // to at least `cheap[remaining]`, and the closing hop into the
+        // target costs at least its cheapest incoming edge — take the
+        // best of that and `cheap[remaining + 1]` (all hops counted as
+        // distinct). Without them: every hop costs at least `min_edge`.
+        // Both are admissible, and the incumbent is only ever replaced on
+        // a *strict* improvement, so the choice affects how many branches
+        // are explored but never which stroll is returned.
         if let Some((b, _)) = best {
-            let bound = cur_cost + min_edge * (remaining as f64 + 1.0);
+            let bound = if ws.cheap.is_empty() {
+                cur_cost + min_edge * (remaining as f64 + 1.0)
+            } else {
+                let with_close = ws.cheap[remaining] + ws.min_in[target];
+                cur_cost + with_close.max(ws.cheap[remaining + 1])
+            };
             if bound >= *b {
                 return;
             }

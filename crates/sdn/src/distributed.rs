@@ -430,6 +430,7 @@ pub fn distributed_sofda(
         engine_stats.stale += s.stale;
         engine_stats.evictions += s.evictions;
         engine_stats.repairs += s.repairs;
+        engine_stats.partial_repairs += s.partial_repairs;
     }
     Ok(DistributedOutcome {
         outcome: SolveOutcome {

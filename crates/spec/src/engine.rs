@@ -1090,6 +1090,7 @@ fn run_single_group(
         t.engine_misses = eng.misses;
         t.engine_stale = eng.stale;
         t.engine_repairs = eng.repairs;
+        t.engine_partial_repairs = eng.partial_repairs;
     }
     let suffix = if group.scratch {
         ""

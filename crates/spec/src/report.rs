@@ -141,6 +141,9 @@ pub struct OnlineSolverStats {
     /// `PathEngine` counter: stale trees revalidated in place without a
     /// Dijkstra (edge-scoped invalidation).
     pub engine_repairs: u64,
+    /// `PathEngine` counter: stale misses answered by the dynamic-SSSP
+    /// repair pass (affected region only) instead of a cold Dijkstra.
+    pub engine_partial_repairs: u64,
 }
 
 impl OnlineSolverStats {
@@ -394,7 +397,7 @@ pub fn write_jsonl(report: &RunReport, timings: bool) -> String {
                     // cache-effectiveness measurements (warmth-dependent, and
                     // sensitive to thread interleaving), not part of the
                     // deterministic golden stream.
-                    let counters: [(&str, f64, bool); 13] = [
+                    let counters: [(&str, f64, bool); 14] = [
                         ("full_solves", s.full_solves as f64, false),
                         ("incremental_events", s.incremental_events as f64, false),
                         ("joins", s.joins as f64, false),
@@ -408,6 +411,11 @@ pub fn write_jsonl(report: &RunReport, timings: bool) -> String {
                         ("engine_misses", s.engine_misses as f64, true),
                         ("engine_stale", s.engine_stale as f64, true),
                         ("engine_repairs", s.engine_repairs as f64, true),
+                        (
+                            "engine_partial_repairs",
+                            s.engine_partial_repairs as f64,
+                            true,
+                        ),
                     ];
                     for (name, value, timing) in counters {
                         if timing && !timings {

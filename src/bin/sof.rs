@@ -25,7 +25,7 @@ Usage:
   sof run <preset|spec.toml|spec.json> [options]
   sof list
   sof validate <preset|file>... | --all
-  sof bench-snapshot [--out FILE] [--reps N] [--threads N]
+  sof bench-snapshot [--out FILE] [--reps N] [--threads N] [--entry NAME]...
   sof serve [--addr HOST:PORT] [--ttl-secs N] [--stdin]
   sof serve-bench [--addr HOST:PORT] [--connections N] [--requests N]
                   [--reps N] [--out FILE] [--shutdown]
@@ -245,11 +245,12 @@ const BENCH_PRESETS: &[(&str, &str, &str)] = &[
 ];
 
 /// Sums the `PathEngine` counters over every online session in the
-/// report: (hits, misses, stale, repairs). `None` when the report has no
-/// online sections (sweeps don't surface per-session engine stats).
-fn engine_counters(report: &RunReport) -> Option<(u64, u64, u64, u64)> {
+/// report: (hits, misses, stale, repairs, partial_repairs). `None` when
+/// the report has no online sections (sweeps don't surface per-session
+/// engine stats).
+fn engine_counters(report: &RunReport) -> Option<(u64, u64, u64, u64, u64)> {
     let mut any = false;
-    let mut sum = (0u64, 0u64, 0u64, 0u64);
+    let mut sum = (0u64, 0u64, 0u64, 0u64, 0u64);
     for section in &report.sections {
         if let Detail::Online(d) = &section.detail {
             for s in &d.sessions {
@@ -258,6 +259,7 @@ fn engine_counters(report: &RunReport) -> Option<(u64, u64, u64, u64)> {
                 sum.1 += s.engine_misses;
                 sum.2 += s.engine_stale;
                 sum.3 += s.engine_repairs;
+                sum.4 += s.engine_partial_repairs;
             }
         }
     }
@@ -268,6 +270,7 @@ fn cmd_bench_snapshot(args: Vec<String>) {
     let mut out: Option<String> = None;
     let mut reps = 3usize;
     let mut threads: Option<usize> = None;
+    let mut only: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> String {
@@ -278,12 +281,29 @@ fn cmd_bench_snapshot(args: Vec<String>) {
             "--out" => out = Some(value("--out")),
             "--reps" => reps = parse_num(&value("--reps"), "--reps") as usize,
             "--threads" => threads = Some(parse_num(&value("--threads"), "--threads") as usize),
+            "--entry" => only.push(value("--entry")),
             other => fatal(format!("unknown flag '{other}' for bench-snapshot")),
         }
     }
     if reps == 0 {
         fatal("--reps must be at least 1");
     }
+    // Perf iteration on one preset shouldn't re-run the whole suite:
+    // --entry (repeatable) narrows the snapshot to the named entries.
+    for name in &only {
+        let known = name == "daemon-serve" || BENCH_PRESETS.iter().any(|&(n, _, _)| n == name);
+        if !known {
+            fatal(format!(
+                "unknown bench entry '{name}' (entries: {}, daemon-serve)",
+                BENCH_PRESETS
+                    .iter()
+                    .map(|&(n, _, _)| n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+    let wanted = |name: &str| only.is_empty() || only.iter().any(|n| n == name);
     if let Some(t) = threads {
         sof_par::set_threads(t);
     }
@@ -292,8 +312,11 @@ fn cmd_bench_snapshot(args: Vec<String>) {
         timings: true,
         legacy_notes: false,
     };
-    let mut entries = String::new();
+    let mut entries: Vec<String> = Vec::new();
     for &(name, preset, flags) in BENCH_PRESETS {
+        if !wanted(name) {
+            continue;
+        }
         let mut spec = load_spec(preset);
         let mut overrides = Overrides::default();
         let mut flag_it = flags.split_whitespace();
@@ -319,7 +342,9 @@ fn cmd_bench_snapshot(args: Vec<String>) {
         }
         let engine = last_report.as_ref().and_then(engine_counters);
         let engine_note = engine
-            .map(|(h, m, s, r)| format!("  engine hits {h} / misses {m} / stale {s} / repairs {r}"))
+            .map(|(h, m, s, r, p)| {
+                format!("  engine hits {h} / misses {m} / stale {s} / repairs {r} / partial {p}")
+            })
             .unwrap_or_default();
         // Churn-at-scale entries also report throughput: the event budget
         // divided by each rep's wall clock.
@@ -351,8 +376,10 @@ fn cmd_bench_snapshot(args: Vec<String>) {
             .collect::<Vec<_>>()
             .join(",");
         let engine_json = engine
-            .map(|(h, m, s, r)| {
-                format!(",\"engine\":{{\"hits\":{h},\"misses\":{m},\"stale\":{s},\"repairs\":{r}}}")
+            .map(|(h, m, s, r, p)| {
+                format!(
+                    ",\"engine\":{{\"hits\":{h},\"misses\":{m},\"stale\":{s},\"repairs\":{r},\"partial_repairs\":{p}}}"
+                )
             })
             .unwrap_or_default();
         let throughput_json = events_per_sec
@@ -366,14 +393,14 @@ fn cmd_bench_snapshot(args: Vec<String>) {
                 )
             })
             .unwrap_or_default();
-        entries.push_str(&format!(
-            "    {{\"name\":\"{name}\",\"preset\":\"{preset}\",\"args\":\"{flags}\",\"wall_ms\":[{values}]{engine_json}{throughput_json}}},\n"
+        entries.push(format!(
+            "    {{\"name\":\"{name}\",\"preset\":\"{preset}\",\"args\":\"{flags}\",\"wall_ms\":[{values}]{engine_json}{throughput_json}}}"
         ));
     }
     // The daemon rides the same trajectory: a closed-loop client against
     // an in-process `sofd` on an ephemeral port, so requests/sec joins
     // the wall-clock series.
-    {
+    if wanted("daemon-serve") {
         let handle = match sof_daemon::Server::start(sof_daemon::ServerConfig::default()) {
             Ok(h) => h,
             Err(e) => fatal(format!("daemon bench: bind failed: {e}")),
@@ -407,8 +434,8 @@ fn cmd_bench_snapshot(args: Vec<String>) {
                 .join("  "),
             req_per_sec.last().copied().unwrap_or(0.0),
         );
-        entries.push_str(&format!(
-            "    {{\"name\":\"daemon-serve\",\"preset\":\"serve-bench\",\"args\":\"--connections 4 --requests 400\",\"wall_ms\":[{}],\"requests_per_sec\":[{}]}}\n",
+        entries.push(format!(
+            "    {{\"name\":\"daemon-serve\",\"preset\":\"serve-bench\",\"args\":\"--connections 4 --requests 400\",\"wall_ms\":[{}],\"requests_per_sec\":[{}]}}",
             wall_ms
                 .iter()
                 .map(|ms| format!("{ms:.1}"))
@@ -422,8 +449,9 @@ fn cmd_bench_snapshot(args: Vec<String>) {
         ));
     }
     let threads_used = sof_par::current_threads();
+    let entries = entries.join(",\n");
     let json = format!(
-        "{{\n  \"kind\": \"sof-bench-snapshot\",\n  \"threads\": {threads_used},\n  \"reps\": {reps},\n  \"entries\": [\n{entries}  ]\n}}\n"
+        "{{\n  \"kind\": \"sof-bench-snapshot\",\n  \"threads\": {threads_used},\n  \"reps\": {reps},\n  \"entries\": [\n{entries}\n  ]\n}}\n"
     );
     match out {
         Some(path) => {

@@ -132,6 +132,78 @@ proptest! {
         }
     }
 
+    /// A dynamic-SSSP repair of a cached tree after an arbitrary batch of
+    /// cost changes — downward and upward repricings, journal no-op
+    /// rewrites, and occasional structural edge additions that sever the
+    /// journal — is bit-identical to a from-scratch Dijkstra whenever the
+    /// pass accepts the job: distances, parent hops, and Voronoi sites,
+    /// every tie-break included.
+    #[test]
+    fn dynsssp_repair_bit_identical_to_fresh(
+        seed in 0u64..4000,
+        rounds in 1usize..6,
+        batch in 1usize..6,
+    ) {
+        let mut rng = Rng64::seed_from(seed);
+        let n = 16usize;
+        let mut g = generators::gnp_connected(n, 0.25, CostRange::new(1.0, 9.0), &mut rng);
+        let sources: Vec<NodeId> =
+            rng.sample_indices(n, 2).into_iter().map(NodeId::new).collect();
+        let mut ws = sof::graph::DijkstraWorkspace::new();
+        let mut old = sof::graph::ShortestPaths::from_sources(&g, sources.iter().copied());
+        let mut epoch = g.cost_epoch();
+        for _ in 0..rounds {
+            for _ in 0..batch {
+                let e = sof::graph::EdgeId::new(rng.below(g.edge_count()));
+                match rng.below(6) {
+                    0 => {
+                        let same = g.edge_cost(e);
+                        g.set_edge_cost(e, same); // equal-value write: journal no-op
+                    }
+                    1 => {
+                        // Structural change: severs the journal lineage.
+                        let a = NodeId::new(rng.below(n));
+                        let b = NodeId::new((a.index() + 1 + rng.below(n - 1)) % n);
+                        g.add_edge(a, b, Cost::new(rng.range_f64(1.0, 9.0)));
+                    }
+                    2 => {
+                        // Cheapen sharply: downward (insert-like) repair work.
+                        let c = (g.edge_cost(e).value() * 0.3).max(0.25);
+                        g.set_edge_cost(e, Cost::new(c));
+                    }
+                    3 => {
+                        // Zero-cost plateau: VM attachment edges are
+                        // zero-cost in this codebase, so this is a
+                        // realistic shape. The repair must either bail on
+                        // the ambiguous tie contests plateaus create or
+                        // still match fresh bit for bit.
+                        g.set_edge_cost(e, Cost::ZERO);
+                    }
+                    _ => g.set_edge_cost(e, Cost::new(rng.range_f64(1.0, 9.0))),
+                }
+            }
+            let fresh = sof::graph::ShortestPaths::from_sources(&g, sources.iter().copied());
+            match g.cost_changes_since(epoch) {
+                Some(changes) => {
+                    if let Some(repaired) = ws.repair(&g, &old, &sources, changes) {
+                        for v in (0..n).map(NodeId::new) {
+                            prop_assert_eq!(repaired.dist(v), fresh.dist(v));
+                            prop_assert_eq!(repaired.parent(v), fresh.parent(v));
+                            prop_assert_eq!(repaired.site(v), fresh.site(v));
+                        }
+                        old = repaired;
+                    } else {
+                        old = fresh; // region too large: caller goes cold
+                    }
+                }
+                // Journal severed (structural change) or overflowed: the
+                // engine's middle tier would skip repair entirely.
+                None => old = fresh,
+            }
+            epoch = g.cost_epoch();
+        }
+    }
+
     /// Greedy k-stroll never beats exact, and both validate.
     #[test]
     fn kstroll_orders(seed in 0u64..5000, k in 2usize..6) {
